@@ -1,0 +1,77 @@
+// Ablation: choice of the uniform-to-normal transform on the FPGA
+// (§II-D2/D3). The paper evaluates Marsaglia-Bray and the bit-level
+// ICDF; Box-Muller is the well-known alternative it dismisses for its
+// "heavy trigonometric math operations". This bench quantifies the
+// trade on the simulated device: resources per work-item → maximum
+// work-item count → end-to-end runtime, plus the statistical quality
+// of each path (all three are exercised by the real numerics).
+#include <iostream>
+#include <memory>
+
+#include "common/table.h"
+#include "core/gamma_work_item.h"
+#include "fpga/kernel_sim.h"
+#include "fpga/resource_model.h"
+#include "rng/configs.h"
+
+int main() {
+  using namespace dwi;
+  using rng::NormalTransform;
+  const auto& dev = fpga::adm_pcie_7v3();
+  const std::uint64_t full_outputs = 2'621'440ull * 240ull;
+
+  std::cout << "=== Ablation: uniform-to-normal transform on the FPGA "
+               "(MT(19937) twisters, v = 1.39) ===\n\n";
+  TextTable t;
+  t.set_header({"Transform", "Twisters", "Max WI", "Slice%", "DSP%",
+                "Rejection", "Runtime [ms]", "Bound by"});
+
+  for (NormalTransform tr :
+       {NormalTransform::kMarsagliaBray, NormalTransform::kIcdfBitwise,
+        NormalTransform::kBoxMuller}) {
+    const auto& mt = rng::mt19937_params();
+    const unsigned n = fpga::max_work_items_transform(dev, tr, mt);
+    const auto u = fpga::estimate_utilization_transform(dev, tr, mt, n);
+
+    // Functional rejection rate of this transform feeding the gamma
+    // stage, measured on the real work-item.
+    core::GammaWorkItemConfig wcfg;
+    wcfg.app = rng::config(rng::ConfigId::kConfig1);
+    wcfg.app.fpga_transform = tr;
+    wcfg.sector_variances = {1.39f};
+    wcfg.outputs_per_sector = 100'000;
+    core::GammaWorkItem probe(wcfg);
+    float v = 0.0f;
+    while (!probe.finished()) (void)probe.produce(&v);
+    const double rejection = probe.rejection_rate();
+
+    fpga::KernelSimConfig k;
+    k.work_items = n;
+    k.burst_beats = tr == NormalTransform::kMarsagliaBray ? 16 : 18;
+    k.outputs_per_work_item = (full_outputs / 512) / n;
+    const double accept = 1.0 - rejection;
+    const auto r = fpga::simulate_kernel(k, [&](unsigned w) {
+      return std::make_unique<fpga::BernoulliProducer>(accept, 77 + w);
+    });
+    const double ms =
+        fpga::extrapolate_seconds(r, full_outputs, dev.clock_hz) * 1e3;
+    const double stall = static_cast<double>(r.compute_stall_cycles) /
+                         (static_cast<double>(r.cycles) * n);
+
+    t.add_row({rng::to_string(tr),
+               TextTable::integer(rng::uniforms_per_attempt(tr) + 2),
+               TextTable::integer(n), TextTable::num(u.slice_util * 100, 1),
+               TextTable::num(u.dsp_util * 100, 1),
+               TextTable::percent(rejection, 1), TextTable::num(ms, 0),
+               stall > 0.05 ? "memory" : "compute"});
+  }
+  t.render(std::cout);
+  std::cout << "\nBox-Muller never rejects at the normal stage but its "
+               "sin/cos cores shrink the work-item count; the bit-level "
+               "ICDF is the resource-cheapest and fits the most "
+               "pipelines — the paper's Config3/4 choice. Once the single "
+               "memory channel saturates, the remaining differences "
+               "vanish: on this board the transform choice is a resource "
+               "decision, not a throughput one.\n";
+  return 0;
+}

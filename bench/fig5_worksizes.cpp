@@ -1,0 +1,86 @@
+// Fig 5: measured runtime vs localSize (a) and vs globalSize (b) for
+// Config1 and Config3 on the three fixed-architecture platforms. The
+// paper derives localSize = 8 / 64 / 16 for CPU / GPU / PHI from (a)
+// and confirms globalSize = 65,536 from (b).
+#include <iostream>
+
+#include "common/table.h"
+#include "rng/configs.h"
+#include "simt/runtime_estimator.h"
+
+int main() {
+  using namespace dwi;
+  using simt::PlatformId;
+
+  const rng::AppConfig& c1 = rng::config(rng::ConfigId::kConfig1);
+  const rng::AppConfig& c3 = rng::config(rng::ConfigId::kConfig3);
+  const PlatformId pids[3] = {PlatformId::kCpu, PlatformId::kGpu,
+                              PlatformId::kPhi};
+
+  std::cout << "=== Fig 5a: runtime [ms] vs localSize (globalSize = 65536) "
+               "===\n";
+  for (const auto* cfg : {&c1, &c3}) {
+    std::cout << "\n-- " << cfg->name << " ("
+              << (cfg->uses_marsaglia_bray ? "Marsaglia-Bray"
+                                           : "ICDF CUDA-style")
+              << ") --\n";
+    TextTable t;
+    t.set_header({"localSize", "CPU", "GPU", "PHI"});
+    unsigned best[3] = {0, 0, 0};
+    double best_ms[3] = {1e300, 1e300, 1e300};
+    for (unsigned l = 1; l <= 512; l *= 2) {
+      std::vector<std::string> row = {TextTable::integer(l)};
+      for (int p = 0; p < 3; ++p) {
+        simt::NdRangeWorkload w;
+        w.local_size = l;
+        const double ms =
+            simt::estimate_runtime(simt::platform(pids[p]), *cfg,
+                                   cfg->fixed_arch_transform, w)
+                .seconds * 1e3;
+        if (ms < best_ms[p]) {
+          best_ms[p] = ms;
+          best[p] = l;
+        }
+        row.push_back(TextTable::num(ms, 0));
+      }
+      t.add_row(row);
+    }
+    t.render(std::cout);
+    std::cout << "Optimal localSize: CPU=" << best[0] << " GPU=" << best[1]
+              << " PHI=" << best[2] << "   (paper: 8 / 64 / 16)\n";
+  }
+
+  std::cout << "\n=== Fig 5b: runtime [ms] vs globalSize (optimal "
+               "localSizes) ===\n";
+  for (const auto* cfg : {&c1, &c3}) {
+    std::cout << "\n-- " << cfg->name << " --\n";
+    TextTable t;
+    t.set_header({"globalSize", "CPU", "GPU", "PHI"});
+    std::uint64_t best[3] = {0, 0, 0};
+    double best_ms[3] = {1e300, 1e300, 1e300};
+    for (std::uint64_t g = 1024; g <= (1ull << 20); g *= 4) {
+      std::vector<std::string> row = {TextTable::integer(
+          static_cast<long long>(g))};
+      for (int p = 0; p < 3; ++p) {
+        simt::NdRangeWorkload w;
+        w.global_size = g;
+        const double ms =
+            simt::estimate_runtime(simt::platform(pids[p]), *cfg,
+                                   cfg->fixed_arch_transform, w)
+                .seconds * 1e3;
+        if (ms < best_ms[p]) {
+          best_ms[p] = ms;
+          best[p] = g;
+        }
+        row.push_back(TextTable::num(ms, 0));
+      }
+      t.add_row(row);
+    }
+    t.render(std::cout);
+    std::cout << "Best globalSize: CPU=" << best[0] << " GPU=" << best[1]
+              << " PHI=" << best[2]
+              << "   (paper confirms 65536; 65536 and 262144 are nearly "
+                 "flat)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Fig 7: transfers-only runtime (dummy data, computation removed from
+// the kernel) for different burst lengths and numbers of parallel
+// work-items, on the 512-bit memory interface. Also reports the
+// achieved bandwidths the paper quotes (3.58 GB/s for Config1/2's
+// operating point, 3.94 GB/s for Config3/4's) against the 12.8 GB/s
+// raw interface peak.
+#include <iostream>
+#include <memory>
+
+#include "common/table.h"
+#include "fpga/device.h"
+#include "fpga/kernel_sim.h"
+
+int main() {
+  using namespace dwi;
+  const auto& dev = fpga::adm_pcie_7v3();
+
+  // Full-size Fig 7 transfers 2.5 GB; simulate a 1/256 slice and
+  // extrapolate (steady-state, like every timing bench).
+  const std::uint64_t full_floats = 2'621'440ull * 240ull;
+  const std::uint64_t sim_floats = full_floats / 256;
+
+  std::cout << "=== Fig 7: transfers-only runtime [ms] vs burst length ===\n"
+            << "(rows: burst length in RNs = 16 floats x beats; columns: "
+               "parallel work-items; dummy data)\n\n";
+
+  TextTable t;
+  t.set_header({"Burst [RNs]", "1 WI", "2 WI", "4 WI", "6 WI", "8 WI"});
+  const unsigned wi_counts[] = {1, 2, 4, 6, 8};
+  for (unsigned beats : {1u, 2u, 4u, 8u, 16u, 18u, 32u, 64u, 128u, 256u}) {
+    std::vector<std::string> row = {
+        TextTable::integer(static_cast<long long>(beats) * 16)};
+    for (unsigned n : wi_counts) {
+      fpga::KernelSimConfig cfg;
+      cfg.work_items = n;
+      cfg.burst_beats = beats;
+      cfg.outputs_per_work_item = sim_floats / n;
+      const auto r = fpga::simulate_kernel(cfg, [](unsigned) {
+        return std::make_unique<fpga::DummyProducer>();
+      });
+      const double full_ms =
+          fpga::extrapolate_seconds(r, full_floats, dev.clock_hz) * 1e3;
+      row.push_back(TextTable::num(full_ms, 0));
+    }
+    t.add_row(row);
+  }
+  t.render(std::cout);
+
+  std::cout << "\n=== Operating points (SS IV-E measured bandwidths) ===\n";
+  TextTable b;
+  b.set_header({"Design point", "Bandwidth [GB/s]", "Paper [GB/s]",
+                "Runtime for 2.5 GB [ms]"});
+  struct Point {
+    const char* name;
+    unsigned wi, beats;
+    double paper_bw;
+  } points[] = {{"Config1/2 (6 WI, 256-RN bursts)", 6, 16, 3.58},
+                {"Config3/4 (8 WI, 288-RN bursts)", 8, 18, 3.94}};
+  for (const auto& p : points) {
+    fpga::KernelSimConfig cfg;
+    cfg.work_items = p.wi;
+    cfg.burst_beats = p.beats;
+    cfg.outputs_per_work_item = sim_floats / p.wi;
+    const auto r = fpga::simulate_kernel(cfg, [](unsigned) {
+      return std::make_unique<fpga::DummyProducer>();
+    });
+    b.add_row({p.name, TextTable::num(r.bandwidth_bytes(dev.clock_hz) / 1e9, 2),
+               TextTable::num(p.paper_bw, 2),
+               TextTable::num(fpga::extrapolate_seconds(r, full_floats,
+                                                        dev.clock_hz) * 1e3,
+                              0)});
+  }
+  b.render(std::cout);
+  std::cout << "Raw interface peak: "
+            << TextTable::num(dev.peak_bandwidth_bytes() / 1e9, 1)
+            << " GB/s; the gap is the per-burst turnaround of the SDAccel "
+               "2015.4 memory subsystem (the paper: 'further customizations "
+               "of the memory controller inside the tool would improve the "
+               "performance').\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Fig 8: system power-consumption trace while repeatedly enqueuing the
+// Config1 kernel (the paper's wall-plug measurement with a Voltcraft
+// VC870 at 1 sample/s). Shows the enqueue spike at the first marker,
+// the cooling ramp, the plateau, and the two markers delimiting the
+// 100 s integration window.
+#include <algorithm>
+#include <iostream>
+
+#include "common/table.h"
+#include "minicl/runtime.h"
+#include "power/energy_protocol.h"
+
+int main() {
+  using namespace dwi;
+
+  minicl::KernelLaunch launch;
+  launch.config = rng::config(rng::ConfigId::kConfig1);
+  launch.transform = rng::NormalTransform::kMarsagliaBray;
+
+  std::cout << "=== Fig 8: power trace, Config1 on the FPGA combination "
+               "===\n\n";
+  auto dev = minicl::find_device("FPGA");
+  const auto r = power::run_energy_protocol(*dev, launch);
+
+  // ASCII strip chart, one row per 5 s.
+  const auto& s = r.trace.samples_watts;
+  const double lo = 200.0;
+  double hi = 0.0;
+  for (double w : s) hi = std::max(hi, w);
+  hi += 2.0;
+  std::cout << "t[s]   P[W]   (" << TextTable::num(lo, 0) << " W .. "
+            << TextTable::num(hi, 0) << " W; M = plot marker)\n";
+  for (std::size_t i = 0; i < s.size(); i += 5) {
+    const double t = static_cast<double>(i) * r.trace.sample_period_s;
+    const auto bar = static_cast<std::size_t>(
+        std::max(0.0, (s[i] - lo) / (hi - lo) * 60.0));
+    bool marker = false;
+    for (double m : r.trace.markers_s) {
+      if (std::abs(m - t) < 2.5) marker = true;
+    }
+    std::cout << TextTable::num(t, 0) << "\t" << TextTable::num(s[i], 1)
+              << "\t|" << std::string(bar, '#') << (marker ? " <-- M" : "")
+              << "\n";
+  }
+
+  std::cout << "\nidle floor: 204 W (paper: ~204 W)\n"
+            << "kernel time: " << TextTable::num(r.kernel_seconds * 1e3, 0)
+            << " ms, invocations enqueued: " << r.invocations << "\n"
+            << "device dynamic power: "
+            << TextTable::num(r.device_dynamic_watts, 1) << " W\n"
+            << "dynamic energy per invocation (100 s window): "
+            << TextTable::num(r.energy.per_invocation.value, 1) << " J\n";
+
+  std::cout << "\n--- The same protocol on the other combinations "
+               "(plateau power) ---\n";
+  TextTable t;
+  t.set_header({"Combination", "Plateau [W]", "Kernel [ms]",
+                "E_dyn/invocation [J]"});
+  for (const char* name : {"CPU", "GPU", "PHI", "FPGA"}) {
+    auto d = minicl::find_device(name);
+    const auto rr = power::run_energy_protocol(*d, launch);
+    const auto& ss = rr.trace.samples_watts;
+    double plateau = 0.0;
+    for (std::size_t i = ss.size() / 2; i < ss.size(); ++i) {
+      plateau = std::max(plateau, ss[i]);
+    }
+    t.add_row({name, TextTable::num(plateau, 0),
+               TextTable::num(rr.kernel_seconds * 1e3, 0),
+               TextTable::num(rr.energy.per_invocation.value, 1)});
+  }
+  t.render(std::cout);
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Micro-benchmarks (google-benchmark) of every RNG building block:
+// twisters, normal transforms, the gamma sampler and the Listing 2
+// work-item. These are host-CPU throughput numbers for the library
+// itself, not simulated-platform numbers.
+#include <benchmark/benchmark.h>
+
+#include "common/bits.h"
+#include "core/gamma_work_item.h"
+#include "rng/erfinv.h"
+#include "rng/gamma.h"
+#include "rng/icdf_bitwise.h"
+#include "rng/mersenne_twister.h"
+#include "rng/normal.h"
+#include "rng/philox.h"
+#include "rng/ziggurat.h"
+
+namespace {
+
+using namespace dwi;
+
+void BM_Mt19937(benchmark::State& state) {
+  rng::MersenneTwister mt(rng::mt19937_params(), 1);
+  for (auto _ : state) benchmark::DoNotOptimize(mt.next());
+}
+BENCHMARK(BM_Mt19937);
+
+void BM_Mt521(benchmark::State& state) {
+  rng::MersenneTwister mt(rng::mt521_params(), 1);
+  for (auto _ : state) benchmark::DoNotOptimize(mt.next());
+}
+BENCHMARK(BM_Mt521);
+
+void BM_AdaptedMtGated(benchmark::State& state) {
+  // Worst case for the adapted twister: enable toggling every call.
+  rng::AdaptedMersenneTwister mt(rng::mt19937_params(), 1);
+  bool enable = false;
+  for (auto _ : state) {
+    enable = !enable;
+    benchmark::DoNotOptimize(mt.next(enable));
+  }
+}
+BENCHMARK(BM_AdaptedMtGated);
+
+void BM_MarsagliaBray(benchmark::State& state) {
+  rng::MersenneTwister mt(rng::mt19937_params(), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng::marsaglia_bray_attempt(mt.next(), mt.next()));
+  }
+}
+BENCHMARK(BM_MarsagliaBray);
+
+void BM_BoxMuller(benchmark::State& state) {
+  rng::MersenneTwister mt(rng::mt19937_params(), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng::box_muller(mt.next(), mt.next()));
+  }
+}
+BENCHMARK(BM_BoxMuller);
+
+void BM_IcdfCuda(benchmark::State& state) {
+  rng::MersenneTwister mt(rng::mt19937_params(), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng::normal_icdf_cuda(mt.next()));
+  }
+}
+BENCHMARK(BM_IcdfCuda);
+
+void BM_IcdfBitwise(benchmark::State& state) {
+  rng::MersenneTwister mt(rng::mt19937_params(), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng::normal_icdf_bitwise(mt.next()));
+  }
+}
+BENCHMARK(BM_IcdfBitwise);
+
+void BM_ErfinvGiles(benchmark::State& state) {
+  float x = -0.999f;
+  for (auto _ : state) {
+    x += 1e-4f;
+    if (x >= 1.0f) x = -0.999f;
+    benchmark::DoNotOptimize(rng::erfinv_giles(x));
+  }
+}
+BENCHMARK(BM_ErfinvGiles);
+
+void BM_GammaSampler(benchmark::State& state) {
+  const auto v = static_cast<float>(state.range(0)) / 100.0f;
+  rng::GammaSampler sampler(rng::GammaConstants::from_sector_variance(v),
+                            rng::NormalTransform::kMarsagliaBray);
+  rng::MersenneTwister mt(rng::mt19937_params(), 4);
+  auto src = [&] { return mt.next(); };
+  for (auto _ : state) benchmark::DoNotOptimize(sampler.sample(src));
+}
+BENCHMARK(BM_GammaSampler)->Arg(30)->Arg(139)->Arg(1000);
+
+void BM_ZigguratNormal(benchmark::State& state) {
+  // The classic fast software GRNG ([16]): table lookup + multiply on
+  // ~97% of draws — the host-side baseline the FPGA transforms face.
+  rng::ZigguratNormal zig;
+  rng::MersenneTwister mt(rng::mt19937_params(), 6);
+  auto src = [&] { return mt.next(); };
+  for (auto _ : state) benchmark::DoNotOptimize(zig.sample(src));
+}
+BENCHMARK(BM_ZigguratNormal);
+
+void BM_Philox(benchmark::State& state) {
+  // Counter-based: the statelessness that avoids the GPU spill penalty
+  // costs 10 rounds of 2x 32x32 multiplies per 4 outputs.
+  rng::Philox p(1u, 0);
+  for (auto _ : state) benchmark::DoNotOptimize(p.next());
+}
+BENCHMARK(BM_Philox);
+
+void BM_GammaWorkItemStep(benchmark::State& state) {
+  core::GammaWorkItemConfig cfg;
+  cfg.app = rng::config(rng::ConfigId::kConfig1);
+  cfg.outputs_per_sector = 1u << 30;  // effectively endless
+  core::GammaWorkItem wi(cfg);
+  float v = 0.0f;
+  for (auto _ : state) benchmark::DoNotOptimize(wi.produce(&v));
+}
+BENCHMARK(BM_GammaWorkItemStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

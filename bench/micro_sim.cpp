@@ -1,0 +1,79 @@
+// Micro-benchmarks of the simulators themselves: how many simulated
+// cycles/regions per second the engines sustain on the host. These
+// numbers bound the experiment turnaround (e.g. how much scaling
+// headroom the DESIGN.md §5 extrapolation buys).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/fpga_app.h"
+#include "fpga/kernel_sim.h"
+#include "fpga/scheduler.h"
+#include "rng/configs.h"
+#include "simt/gamma_kernel.h"
+#include "simt/platform.h"
+
+namespace {
+
+using namespace dwi;
+
+void BM_FpgaKernelSimCyclesPerSecond(benchmark::State& state) {
+  const auto wi = static_cast<unsigned>(state.range(0));
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    fpga::KernelSimConfig cfg;
+    cfg.work_items = wi;
+    cfg.outputs_per_work_item = 20'000;
+    const auto r = fpga::simulate_kernel(cfg, [](unsigned w) {
+      return std::make_unique<fpga::BernoulliProducer>(0.766, 3 + w);
+    });
+    cycles += r.cycles;
+    benchmark::DoNotOptimize(r.outputs);
+  }
+  state.counters["sim_cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FpgaKernelSimCyclesPerSecond)->Arg(1)->Arg(6)->Arg(8);
+
+void BM_FpgaKernelSimWithRealNumerics(benchmark::State& state) {
+  // Full Listing 2 numerics as the producer (the Table III FPGA path).
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    core::FpgaWorkload w;
+    w.scale_divisor = 16'384;
+    const auto r = core::run_fpga_application(
+        rng::config(rng::ConfigId::kConfig1), w);
+    cycles += r.sim.cycles;
+    benchmark::DoNotOptimize(r.seconds_full);
+  }
+  state.counters["sim_cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FpgaKernelSimWithRealNumerics);
+
+void BM_SimtPartitionIterations(benchmark::State& state) {
+  std::uint64_t iters = 0;
+  std::uint32_t seed = 1;
+  for (auto _ : state) {
+    const auto r = simt::run_gamma_partition(
+        simt::gpu_tesla_k80(), rng::config(rng::ConfigId::kConfig2),
+        rng::NormalTransform::kMarsagliaBray, 1.39f, 500, seed++);
+    iters += r.iterations;
+    benchmark::DoNotOptimize(r.accepted);
+  }
+  state.counters["warp_iters/s"] = benchmark::Counter(
+      static_cast<double>(iters), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimtPartitionIterations);
+
+void BM_ModuloSchedulerMii(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto g = fpga::gamma_mainloop_graph(2, true);
+    benchmark::DoNotOptimize(g.min_initiation_interval());
+  }
+}
+BENCHMARK(BM_ModuloSchedulerMii);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Table II: FPGA post-P&R resource utilization for all four
+// configurations at the maximum routable work-item count, plus the
+// §IV-C place-and-route growth trace (adding work-items until routing
+// fails).
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.h"
+#include "fpga/resource_model.h"
+#include "rng/configs.h"
+
+int main() {
+  using namespace dwi;
+  const auto& dev = fpga::adm_pcie_7v3();
+
+  std::cout << "=== Table II: FPGA P&R Resources Utilization Report ===\n"
+            << "Device: Virtex-7 XC7VX690T (slices " << dev.slices
+            << ", DSP " << dev.dsps << ", BRAM " << dev.bram36 << ")\n\n";
+
+  struct PaperRow {
+    double slice, dsp, bram;
+  };
+  const PaperRow paper[4] = {{53.43, 23.67, 20.31},
+                             {52.75, 23.67, 20.31},
+                             {52.92, 21.56, 24.05},
+                             {52.72, 21.56, 24.05}};
+
+  TextTable t;
+  t.set_header({"Config", "WorkItems", "Slice% (paper)", "DSP% (paper)",
+                "BRAM% (paper)"});
+  int i = 0;
+  for (const auto& cfg : rng::all_configs()) {
+    const unsigned n = fpga::max_work_items(dev, cfg);
+    const auto u = fpga::estimate_utilization(dev, cfg, n);
+    t.add_row({cfg.name, TextTable::integer(n),
+               TextTable::num(u.slice_util * 100) + " (" +
+                   TextTable::num(paper[i].slice) + ")",
+               TextTable::num(u.dsp_util * 100) + " (" +
+                   TextTable::num(paper[i].dsp) + ")",
+               TextTable::num(u.bram_util * 100) + " (" +
+                   TextTable::num(paper[i].bram) + ")"});
+    ++i;
+  }
+  t.render(std::cout);
+
+  std::cout << "\n--- SS IV-C methodology: grow work-items until P&R fails "
+               "(slice ceiling "
+            << TextTable::num(dev.route_ceiling_slice_util * 100, 1)
+            << "% of the device) ---\n";
+  TextTable g;
+  g.set_header({"Config", "N", "Slice%", "Routable"});
+  for (const auto& cfg :
+       {rng::config(rng::ConfigId::kConfig1), rng::config(rng::ConfigId::kConfig3)}) {
+    const unsigned n_max = fpga::max_work_items(dev, cfg);
+    for (unsigned n = n_max - 1; n <= n_max + 1; ++n) {
+      const auto u = fpga::estimate_utilization(dev, cfg, n);
+      g.add_row({cfg.name, TextTable::integer(n),
+                 TextTable::num(u.slice_util * 100),
+                 u.routable ? "yes" : "NO (P&R fails)"});
+    }
+    g.add_separator();
+  }
+  g.render(std::cout);
+
+  std::cout << "\nPaper: 6 work-items for Config1/2, 8 for Config3/4; the "
+               "design is slice-limited in all cases.\n";
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Table III: kernel runtime [ms] of all four configurations on the
+// four platforms (CPU / GPU / PHI via the SIMT lockstep model, FPGA
+// via the cycle-level dataflow simulation), including the
+// ICDF CUDA-style vs FPGA-style split, the Eq (1) theoretical FPGA
+// estimate, and the headline speedup factors.
+//
+// Workload (§IV-B): numScenarios = 2,621,440, numSectors = 240,
+// v = 1.39, globalSize = 65,536 at each platform's optimal localSize.
+#include <iostream>
+
+#include "common/table.h"
+#include "core/fpga_app.h"
+#include "rng/configs.h"
+#include "simt/runtime_estimator.h"
+
+int main() {
+  using namespace dwi;
+  using rng::NormalTransform;
+
+  std::cout << "=== Table I: Simulation Setup (application configurations) "
+               "===\n";
+  {
+    TextTable t;
+    t.set_header({"Config", "U->N Transform", "MT Exponent", "MT Period",
+                  "MT States"});
+    for (const auto& c : rng::all_configs()) {
+      t.add_row({c.name,
+                 c.uses_marsaglia_bray ? "Marsaglia-Bray" : "ICDF",
+                 TextTable::integer(c.mt.period_exponent()),
+                 "2^(" + std::to_string(c.mt.period_exponent()) + "-1)",
+                 TextTable::integer(c.mt.n)});
+    }
+    t.render(std::cout);
+  }
+
+  simt::NdRangeWorkload w;  // the paper's defaults
+  core::FpgaWorkload fw;
+  fw.scale_divisor = 512;
+
+  const double paper[4][4] = {{3825, 2479, 996, 701},
+                              {3883, 1011, 696, 701},
+                              {807, 1177, 555, 642},
+                              {839, 522, 460, 642}};
+  const double paper_fpga_style[2][3] = {{2794, 1181, 2435},
+                                         {2776, 521, 2294}};
+
+  auto simt_ms = [&](simt::PlatformId pid, const rng::AppConfig& c,
+                     NormalTransform t) {
+    return simt::estimate_runtime(simt::platform(pid), c, t, w).seconds * 1e3;
+  };
+
+  std::cout << "\n=== Table III: Runtime [ms] (model vs paper) ===\n";
+  TextTable t;
+  t.set_header({"Setup", "CPU", "GPU", "PHI", "FPGA"});
+  int ci = 0;
+  double fpga_ms[4] = {0, 0, 0, 0};
+  double cell[4][3];
+  for (const auto& c : rng::all_configs()) {
+    const auto fpga_run = core::run_fpga_application(c, fw);
+    fpga_ms[ci] = fpga_run.seconds_full * 1e3;
+    std::vector<std::string> row = {c.name};
+    const simt::PlatformId pids[3] = {simt::PlatformId::kCpu,
+                                      simt::PlatformId::kGpu,
+                                      simt::PlatformId::kPhi};
+    for (int p = 0; p < 3; ++p) {
+      cell[ci][p] = simt_ms(pids[p], c, c.fixed_arch_transform);
+      row.push_back(TextTable::num(cell[ci][p], 0) + " (" +
+                    TextTable::num(paper[ci][p], 0) + ")");
+    }
+    row.push_back(TextTable::num(fpga_ms[ci], 0) + " (" +
+                  TextTable::num(paper[ci][3], 0) + ")");
+    t.add_row(row);
+
+    if (!c.uses_marsaglia_bray) {
+      std::vector<std::string> frow = {std::string(c.name) +
+                                       " ICDF FPGA-style"};
+      for (int p = 0; p < 3; ++p) {
+        const double ms = simt_ms(pids[p], c, NormalTransform::kIcdfBitwise);
+        frow.push_back(TextTable::num(ms, 0) + " (" +
+                       TextTable::num(paper_fpga_style[ci - 2][p], 0) + ")");
+      }
+      frow.push_back("-");
+      t.add_row(frow);
+    }
+    ++ci;
+  }
+  t.render(std::cout);
+
+  std::cout << "\n=== Headline speedups (FPGA vs others) ===\n";
+  TextTable s;
+  s.set_header({"Config", "vs CPU (paper)", "vs GPU (paper)",
+                "vs PHI (paper)"});
+  const double paper_speedup[4][3] = {
+      {5.5, 3.5, 1.4}, {5.54, 1.44, 0.99}, {1.26, 1.8, 0.9}, {1.31, 0.8, 0.7}};
+  for (int i = 0; i < 4; ++i) {
+    s.add_row({rng::all_configs()[static_cast<std::size_t>(i)].name,
+               TextTable::num(cell[i][0] / fpga_ms[i], 2) + " (" +
+                   TextTable::num(paper_speedup[i][0], 2) + ")",
+               TextTable::num(cell[i][1] / fpga_ms[i], 2) + " (" +
+                   TextTable::num(paper_speedup[i][1], 2) + ")",
+               TextTable::num(cell[i][2] / fpga_ms[i], 2) + " (" +
+                   TextTable::num(paper_speedup[i][2], 2) + ")"});
+  }
+  s.render(std::cout);
+
+  std::cout << "\n=== Eq (1) theoretical FPGA runtime vs simulated ===\n";
+  TextTable e;
+  e.set_header({"Config", "Eq(1) [ms]", "Simulated [ms]", "Ratio",
+                "Bandwidth [GB/s]", "Rejection"});
+  for (const auto& c : rng::all_configs()) {
+    const auto r = core::run_fpga_application(c, fw);
+    e.add_row({c.name, TextTable::num(r.eq1_seconds * 1e3, 0),
+               TextTable::num(r.seconds_full * 1e3, 0),
+               TextTable::num(r.seconds_full / r.eq1_seconds, 2),
+               TextTable::num(r.bandwidth_gbps, 2),
+               TextTable::percent(r.rejection_rate, 1)});
+  }
+  e.render(std::cout);
+  std::cout << "Paper: Eq(1) gives ~683 ms (Config1/2, close to measured "
+               "701 ms) and ~422 ms (Config3/4, ~35% below measured 642 ms "
+               "because the transfers dominate; measured bandwidths 3.58 / "
+               "3.94 GB/s).\n"
+            << "Note: our canonical Marsaglia-Tsang rejection (squeeze + "
+               "exact test) is lower than the paper's reported rates "
+               "(23% vs 30.3% MB-combined; 2.4% vs 7.4% ICDF) — see "
+               "EXPERIMENTS.md.\n";
+  return 0;
+}

@@ -1,0 +1,142 @@
+// CreditRisk+ end to end: the paper's motivating application (§II-D4).
+//
+// A synthetic loan portfolio over four economic sectors is analyzed
+// with the CreditRisk+ Monte-Carlo model. The gamma-distributed sector
+// variables are produced by the *FPGA pipeline* (decoupled work-items,
+// Listing 1/2 functional execution), streamed into the packed device
+// buffer, read back, and consumed scenario-major by the credit engine.
+// Outputs: loss distribution summary, VaR and expected shortfall at
+// the usual confidence levels, checked against the analytic moments.
+#include <cmath>
+#include <iostream>
+#include <span>
+
+#include "common/table.h"
+#include "core/decoupled_work_items.h"
+#include "finance/contributions.h"
+#include "finance/creditrisk_plus.h"
+#include "finance/panjer.h"
+
+int main() {
+  using namespace dwi;
+
+  // --- portfolio ---------------------------------------------------------
+  std::vector<finance::Sector> sectors = {
+      {1.39, "manufacturing"},  // the paper's representative variance
+      {0.75, "services"},
+      {2.10, "energy"},
+      {0.40, "retail"},
+  };
+  const auto portfolio = finance::Portfolio::synthetic(500, sectors, 20240706);
+  std::cout << "Portfolio: " << portfolio.num_obligors() << " obligors, "
+            << portfolio.num_sectors() << " sectors\n"
+            << "expected loss (analytic): " << portfolio.expected_loss()
+            << "\n\n";
+
+  // --- gamma generation on the FPGA pipeline ------------------------------
+  constexpr std::uint64_t kScenarios = 8192;
+  const std::size_t n_sectors = sectors.size();
+
+  // One work-item per sector: work-item k produces that sector's
+  // variance stream; the host interleaves them scenario-major.
+  core::DecoupledConfig task;
+  task.work_items = static_cast<unsigned>(n_sectors);
+  task.floats_per_work_item = kScenarios;
+  std::cout << "Generating " << kScenarios * n_sectors
+            << " sector gammas on " << task.work_items
+            << " decoupled work-items...\n";
+  const auto result = core::run_gamma_task(task, [&](unsigned wid) {
+    core::GammaWorkItemConfig cfg;
+    cfg.app = rng::config(rng::ConfigId::kConfig1);
+    cfg.sector_variances = {
+        static_cast<float>(sectors[wid].variance)};
+    cfg.outputs_per_sector = kScenarios;
+    cfg.work_item_id = wid;
+    cfg.seed = 99;
+    return cfg;
+  });
+
+  // Interleave work-item slices into scenario-major layout.
+  std::vector<float> gammas(kScenarios * n_sectors);
+  for (std::size_t k = 0; k < n_sectors; ++k) {
+    const auto slice =
+        result.work_item_slice(static_cast<unsigned>(k), kScenarios);
+    for (std::uint64_t s = 0; s < kScenarios; ++s) {
+      gammas[s * n_sectors + k] = slice[s];
+    }
+  }
+
+  // --- Monte-Carlo credit simulation --------------------------------------
+  finance::McConfig mc;
+  mc.num_scenarios = kScenarios;
+  const auto losses = finance::simulate_losses(
+      portfolio, mc,
+      finance::buffered_gamma_source(std::span<const float>(gammas),
+                                     n_sectors));
+
+  TextTable t;
+  t.set_header({"Measure", "Value"});
+  t.add_row({"scenarios", TextTable::integer(
+                              static_cast<long long>(losses.scenarios()))});
+  t.add_row({"mean loss (MC)", TextTable::num(losses.mean(), 1)});
+  t.add_row({"mean loss (analytic)",
+             TextTable::num(portfolio.expected_loss(), 1)});
+  t.add_row({"loss stddev (MC)",
+             TextTable::num(std::sqrt(losses.variance()), 1)});
+  t.add_row({"loss stddev (analytic)",
+             TextTable::num(std::sqrt(portfolio.analytic_loss_variance()), 1)});
+  t.add_row({"VaR 99%", TextTable::num(losses.value_at_risk(0.99), 1)});
+  t.add_row({"VaR 99.9%", TextTable::num(losses.value_at_risk(0.999), 1)});
+  t.add_row({"ES 99%", TextTable::num(losses.expected_shortfall(0.99), 1)});
+  t.render(std::cout);
+
+  // --- analytic cross-check: the CSFB Panjer recursion ------------------
+  std::cout << "\n--- Analytic CreditRisk+ (Panjer recursion) vs "
+               "Monte-Carlo ---\n";
+  const double unit = finance::default_loss_unit(portfolio) / 2.0;
+  const auto analytic =
+      finance::creditrisk_plus_analytic(portfolio, unit, 8192);
+  TextTable a;
+  a.set_header({"Measure", "Monte-Carlo (FPGA gammas)", "Analytic"});
+  a.add_row({"mean", TextTable::num(losses.mean(), 1),
+             TextTable::num(analytic.mean(), 1)});
+  a.add_row({"stddev", TextTable::num(std::sqrt(losses.variance()), 1),
+             TextTable::num(std::sqrt(analytic.variance()), 1)});
+  a.add_row({"VaR 99%", TextTable::num(losses.value_at_risk(0.99), 1),
+             TextTable::num(analytic.value_at_risk(0.99), 1)});
+  a.add_row({"VaR 99.9%", TextTable::num(losses.value_at_risk(0.999), 1),
+             TextTable::num(analytic.value_at_risk(0.999), 1)});
+  a.render(std::cout);
+
+  // --- who drives the tail? Euler allocation -----------------------------
+  std::cout << "\n--- Top-5 expected-shortfall contributors (95% tail) "
+               "---\n";
+  finance::McConfig cmc;
+  cmc.num_scenarios = 4096;
+  const auto contrib = finance::shortfall_contributions(
+      portfolio, cmc, finance::sampler_gamma_source(portfolio, 7), 0.95);
+  TextTable c;
+  c.set_header({"Obligor", "E[L_i]", "ES contribution", "Tail multiple"});
+  auto ranked = contrib.ranked();
+  for (std::size_t i = 0; i < 5 && i < ranked.size(); ++i) {
+    c.add_row({TextTable::integer(static_cast<long long>(ranked[i].obligor)),
+               TextTable::num(ranked[i].expected_loss, 0),
+               TextTable::num(ranked[i].shortfall_contribution, 0),
+               TextTable::num(ranked[i].shortfall_contribution /
+                                  std::max(1.0, ranked[i].expected_loss),
+                              1) + "x"});
+  }
+  c.render(std::cout);
+
+  const double mean_err =
+      std::abs(losses.mean() / portfolio.expected_loss() - 1.0);
+  const double var_err =
+      std::abs(losses.value_at_risk(0.99) / analytic.value_at_risk(0.99) -
+               1.0);
+  const bool ok = mean_err < 0.05 && var_err < 0.15;
+  std::cout << (ok ? "\nOK: Monte-Carlo (FPGA-generated gammas) agrees "
+                     "with the analytic model\n"
+                   : "\nWARNING: Monte-Carlo deviates from the analytic "
+                     "model\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,172 @@
+// Extending the pattern to a different rejection algorithm — the
+// paper's §V claim: "the DecoupledWorkItems function ... as well as
+// the Transfer block ... can be easily reused or customized to any
+// application. The designer just needs to rewrite the application
+// function in Listing 2."
+//
+// Here the application function is a *tail-truncated normal* sampler:
+// X ~ N(0,1) conditioned on X > a (a = 2), generated with Robert's
+// exponential-proposal rejection method — like the gamma kernel, a
+// data-dependent branch whose acceptance depends on the proposal, plus
+// enable-gated twisters so rejected iterations never distort the
+// uniform streams. The same ComputeFn plugs into both the functional
+// dataflow Task (run_decoupled_work_items) and the cycle-level timing
+// simulation (fpga::simulate_kernel), so we get the validated output
+// distribution AND the throughput estimate in one program.
+#include <cmath>
+#include <iostream>
+#include <memory>
+#include <span>
+
+#include "common/bits.h"
+#include "core/decoupled_work_items.h"
+#include "core/rejection_kernel.h"
+#include "fpga/kernel_sim.h"
+#include "rng/mersenne_twister.h"
+#include "stats/distributions.h"
+#include "stats/ks_test.h"
+#include "stats/moments.h"
+
+namespace {
+
+using namespace dwi;
+
+constexpr float kThreshold = 2.0f;  // sample N(0,1) | X > 2
+
+/// One pipelined work-item of the truncated-normal kernel: the analogue
+/// of Listing 2 for a different rejection method. Implements
+/// fpga::ProducerModel so the timing simulator can drive it too.
+class TruncatedNormalWorkItem final : public fpga::ProducerModel {
+ public:
+  explicit TruncatedNormalWorkItem(std::uint32_t seed)
+      : mt0_(rng::mt521_params(), seed | 1u),
+        mt1_(rng::mt521_params(), (seed * 2654435761u) | 1u),
+        lambda_((kThreshold + std::sqrt(kThreshold * kThreshold + 4.0f)) /
+                2.0f) {}
+
+  bool produce(float* value) override {
+    // Exponential proposal X = a + Exp(λ)/λ; both twisters free-run,
+    // but MT1's state only commits when a proposal was drawn — the
+    // Listing 3 discipline, reused verbatim.
+    const float u0 = uint2float_open0(mt0_.next(true));
+    const float x = kThreshold - std::log(u0) / lambda_;
+    const float rho =
+        std::exp(-0.5f * (x - lambda_) * (x - lambda_));
+    const float u1 = uint2float_open0(mt1_.next(true));
+    if (u1 <= rho) {
+      *value = x;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  rng::AdaptedMersenneTwister mt0_;
+  rng::AdaptedMersenneTwister mt1_;
+  float lambda_;
+};
+
+double truncated_normal_cdf(double x) {
+  const double tail = 1.0 - stats::normal_cdf(kThreshold);
+  if (x <= kThreshold) return 0.0;
+  return (stats::normal_cdf(x) - stats::normal_cdf(kThreshold)) / tail;
+}
+
+/// The same sampler expressed as a core::RejectionWorkItem attempt —
+/// the library-template route to §V's generalization.
+struct TruncatedNormalAttempt {
+  static constexpr unsigned kUniformSources = 2;
+  template <typename U>
+  bool operator()(U&& u, float* value) {
+    const float lambda =
+        (kThreshold + std::sqrt(kThreshold * kThreshold + 4.0f)) / 2.0f;
+    const float x =
+        kThreshold - std::log(dwi::uint2float_open0(u(0))) / lambda;
+    const float rho = std::exp(-0.5f * (x - lambda) * (x - lambda));
+    if (dwi::uint2float_open0(u(1)) <= rho) {
+      *value = x;
+      return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Custom rejection kernel on the decoupled-work-item "
+               "pattern ===\n"
+            << "Sampling N(0,1) | X > " << kThreshold
+            << " (Robert's exponential-proposal rejection)\n\n";
+
+  // --- functional Task: 4 decoupled work-items, real dataflow ----------
+  core::DecoupledConfig task;
+  task.work_items = 4;
+  task.floats_per_work_item = 50'000 - 50'000 % 16;
+  const auto result = core::run_decoupled_work_items(
+      task, [](unsigned wid, hls::stream<float>& out, std::uint64_t n) {
+        TruncatedNormalWorkItem wi(7u + wid * 1299721u);
+        std::uint64_t produced = 0;
+        float v = 0.0f;
+        while (produced < n) {
+          if (wi.produce(&v)) {
+            out.write(v);
+            ++produced;
+          }
+        }
+      });
+
+  const auto xs = result.to_floats();
+  stats::RunningMoments m;
+  for (float v : xs) m.add(static_cast<double>(v));
+  const auto ks = stats::ks_test(std::span<const float>(xs),
+                                 truncated_normal_cdf);
+
+  // Analytic mean of the truncated normal: φ(a)/(1-Φ(a)).
+  const double a = kThreshold;
+  const double expected_mean =
+      stats::normal_pdf(a) / (1.0 - stats::normal_cdf(a));
+  std::cout << "samples: " << xs.size() << "\n"
+            << "mean     = " << m.mean() << " (analytic "
+            << expected_mean << ")\n"
+            << "min      = " << m.min() << " (must exceed " << a << ")\n"
+            << "KS p     = " << ks.p_value << " (D=" << ks.statistic << ")\n";
+
+  // --- timing on the simulated FPGA -------------------------------------
+  fpga::KernelSimConfig sim;
+  sim.work_items = 8;  // this kernel is small: more pipelines fit
+  sim.outputs_per_work_item = 100'000;
+  const auto timing = fpga::simulate_kernel(sim, [](unsigned w) {
+    return std::make_unique<TruncatedNormalWorkItem>(1000u + w);
+  });
+  const double throughput =
+      static_cast<double>(timing.outputs) /
+      timing.seconds_at(200e6) / 1e6;
+  std::cout << "\nFPGA timing (8 decoupled work-items @ 200 MHz):\n"
+            << "rejection rate: " << timing.rejection_rate() * 100 << " %\n"
+            << "throughput:     " << throughput << " Msamples/s\n";
+
+  // --- the same kernel via the library template --------------------------
+  // core/rejection_kernel.h packages everything this file hand-rolled
+  // (gated sources, delayed counter, quota logic): the designer writes
+  // only the attempt functor (TruncatedNormalAttempt above).
+  core::RejectionKernelConfig rcfg;
+  rcfg.quota = 50'000;
+  core::RejectionWorkItem<TruncatedNormalAttempt> templated(rcfg);
+  stats::RunningMoments mt_template;
+  float tv = 0.0f;
+  while (!templated.finished()) {
+    if (templated.produce(&tv)) mt_template.add(static_cast<double>(tv));
+  }
+  std::cout << "\nSame kernel via core::RejectionWorkItem<Attempt>: mean="
+            << mt_template.mean() << " (hand-rolled gave " << m.mean()
+            << "), rejection=" << templated.rejection_rate() * 100
+            << " %\n";
+
+  const bool ok = ks.p_value > 1e-4 && m.min() >= a &&
+                  std::abs(m.mean() - expected_mean) < 0.01 &&
+                  std::abs(mt_template.mean() - expected_mean) < 0.01;
+  std::cout << (ok ? "\nOK: custom kernel validated on the same pattern\n"
+                   : "\nWARNING: validation failed\n");
+  return ok ? 0 : 1;
+}

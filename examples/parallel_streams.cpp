@@ -1,0 +1,78 @@
+// Parallel RNG streams done right: jump-ahead partitioning.
+//
+// The paper gives every work-item its own seeds and relies on the
+// astronomically small overlap probability. With the library's GF(2)
+// jump-ahead (rng/jump.h) the guarantee is structural instead: all
+// work-items draw from ONE master MT(521) sequence, each offset by a
+// fixed stride, so overlap is impossible by construction. This example
+// partitions a master sequence across 6 decoupled work-items, verifies
+// the partitioning against the sequential generator, runs the gamma
+// pipeline on top, and checks the combined output distribution.
+#include <cmath>
+#include <iostream>
+
+#include "common/bits.h"
+#include "rng/gamma.h"
+#include "rng/jump.h"
+#include "rng/mersenne_twister.h"
+#include "stats/moments.h"
+
+int main() {
+  using namespace dwi;
+
+  constexpr unsigned kWorkItems = 6;
+  constexpr std::uint64_t kStride = 4'000'000;  // uniforms per work-item
+  const auto params = rng::mt521_params();
+
+  std::cout << "Partitioning one MT(521) master sequence into "
+            << kWorkItems << " streams of " << kStride
+            << " uniforms (jump-ahead, no overlap possible)...\n";
+  auto streams = rng::make_parallel_streams(params, 20240706u, kWorkItems,
+                                            kStride);
+
+  // --- verify the partitioning on a sample ------------------------------
+  {
+    rng::MersenneTwister master(params, 20240706u);
+    bool ok = true;
+    for (unsigned w = 0; w < kWorkItems && ok; ++w) {
+      rng::MersenneTwister probe = streams[w];  // copy; keep originals
+      for (int i = 0; i < 1000; ++i) {
+        if (probe.next() != master.next()) {
+          ok = false;
+          break;
+        }
+      }
+      // Skip the rest of this work-item's slice in the master.
+      for (std::uint64_t i = 1000; i < kStride && ok; ++i) {
+        (void)master.next();
+      }
+    }
+    std::cout << (ok ? "stream prefixes verified against the master "
+                       "sequence\n"
+                     : "ERROR: stream mismatch\n");
+    if (!ok) return 1;
+  }
+
+  // --- gamma generation on the partitioned streams ----------------------
+  const auto k = rng::GammaConstants::from_sector_variance(1.39f);
+  stats::RunningMoments m;
+  constexpr int kPerStream = 50'000;
+  for (unsigned w = 0; w < kWorkItems; ++w) {
+    rng::GammaSampler sampler(k, rng::NormalTransform::kMarsagliaBray);
+    auto& mt = streams[w];
+    auto src = [&mt] { return mt.next(); };
+    for (int i = 0; i < kPerStream; ++i) {
+      m.add(static_cast<double>(sampler.sample(src)));
+    }
+  }
+  std::cout << "combined output over " << m.count()
+            << " samples: mean=" << m.mean()
+            << " (expected 1.0), variance=" << m.variance()
+            << " (expected 1.39)\n";
+  const bool ok = std::abs(m.mean() - 1.0) < 0.02 &&
+                  std::abs(m.variance() - 1.39) < 0.1;
+  std::cout << (ok ? "OK: partitioned streams feed the gamma pipeline "
+                     "correctly\n"
+                   : "WARNING: distribution off\n");
+  return ok ? 0 : 1;
+}

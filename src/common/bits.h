@@ -1,0 +1,70 @@
+// Small bit-manipulation helpers shared by the RNG transforms, the
+// arbitrary-precision types and the FPGA resource model.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace dwi {
+
+/// Reinterpret the bit pattern of a float as a 32-bit unsigned integer.
+inline std::uint32_t float_to_bits(float f) {
+  return std::bit_cast<std::uint32_t>(f);
+}
+
+/// Reinterpret a 32-bit unsigned integer bit pattern as a float.
+inline float bits_to_float(std::uint32_t u) { return std::bit_cast<float>(u); }
+
+/// Number of leading zeros of a 32-bit value; 32 when x == 0.
+inline int count_leading_zeros(std::uint32_t x) {
+  return x == 0 ? 32 : std::countl_zero(x);
+}
+
+/// Number of leading zeros of a 64-bit value; 64 when x == 0.
+inline int count_leading_zeros(std::uint64_t x) {
+  return x == 0 ? 64 : std::countl_zero(x);
+}
+
+/// ceil(a / b) for positive integers.
+template <typename T>
+constexpr T ceil_div(T a, T b) {
+  static_assert(std::is_integral_v<T>);
+  return static_cast<T>((a + b - 1) / b);
+}
+
+/// Round `a` up to the next multiple of `b`.
+template <typename T>
+constexpr T round_up(T a, T b) {
+  return ceil_div(a, b) * b;
+}
+
+/// True when x is a power of two (and nonzero).
+constexpr bool is_power_of_two(std::uint64_t x) {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// Convert a 32-bit uniform integer to a float in [0, 1).
+/// This mirrors the paper's `uint2float` helper used in Listing 2.
+/// Only the top 24 bits are used — a float mantissa cannot hold more,
+/// and naive u · 2^-32 rounds the largest inputs up to exactly 1.0f.
+inline float uint2float(std::uint32_t u) {
+  return static_cast<float>(u >> 8) * 0x1.0p-24f;
+}
+
+/// Convert a 32-bit uniform integer to a float in (0, 1): never exactly
+/// zero or one, so it is safe on either side of log()/pow(). Used by
+/// the rejection and correction uniforms.
+inline float uint2float_open0(std::uint32_t u) {
+  // 23 bits + the half-offset fit a 24-bit mantissa exactly, so the
+  // largest result is 1 - 2^-24, strictly below one.
+  return (static_cast<float>(u >> 9) + 0.5f) * 0x1.0p-23f;
+}
+
+/// Convert a 32-bit uniform integer to a double in [0, 1).
+inline double uint2double(std::uint32_t u) {
+  return static_cast<double>(u) * 0x1.0p-32;
+}
+
+}  // namespace dwi

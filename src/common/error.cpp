@@ -1,0 +1,20 @@
+#include "common/error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dwi::detail {
+
+void throw_error(const char* cond, const char* file, int line,
+                 const std::string& msg) {
+  throw Error(std::string(file) + ":" + std::to_string(line) +
+              ": requirement failed: (" + cond + "): " + msg);
+}
+
+void assert_fail(const char* cond, const char* file, int line) {
+  std::fprintf(stderr, "%s:%d: internal invariant violated: (%s)\n", file,
+               line, cond);
+  std::abort();
+}
+
+}  // namespace dwi::detail

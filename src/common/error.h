@@ -1,0 +1,45 @@
+// Error handling for the dwi library.
+//
+// The library throws dwi::Error (a std::runtime_error) on contract
+// violations that are recoverable from the caller's point of view
+// (bad configuration, protocol misuse of the mini-OpenCL runtime, ...).
+// Hard internal invariants use DWI_ASSERT, which aborts.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dwi {
+
+/// Exception type thrown by all dwi components on contract violations.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_error(const char* cond, const char* file, int line,
+                              const std::string& msg);
+[[noreturn]] void assert_fail(const char* cond, const char* file, int line);
+}  // namespace detail
+
+}  // namespace dwi
+
+/// Throw dwi::Error with location info when `cond` is false.
+/// Use for caller-facing contract checks (always on, release included).
+#define DWI_REQUIRE(cond, msg)                                          \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::dwi::detail::throw_error(#cond, __FILE__, __LINE__, (msg));     \
+    }                                                                   \
+  } while (0)
+
+/// Abort on violated internal invariant. Always on: the simulators are
+/// deterministic and an inconsistent simulator state must never produce
+/// silently wrong timing numbers.
+#define DWI_ASSERT(cond)                                                \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::dwi::detail::assert_fail(#cond, __FILE__, __LINE__);            \
+    }                                                                   \
+  } while (0)

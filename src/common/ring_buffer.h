@@ -1,0 +1,78 @@
+// Fixed-capacity single-threaded ring buffer.
+//
+// Used by the FPGA timing simulator to model hls::stream FIFO occupancy
+// (where capacity == the stream depth set by #pragma HLS STREAM) and by
+// the memory-channel arbitration queue. Unlike dwi::hls::stream it is
+// non-blocking and single-threaded: the discrete-event engine polls
+// full()/empty() explicitly, exactly as RTL handshake signals would.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+
+namespace dwi {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity)
+      : slots_(capacity), capacity_(capacity) {
+    DWI_REQUIRE(capacity > 0, "ring buffer capacity must be positive");
+  }
+
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == capacity_; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Insert an element; the buffer must not be full.
+  void push(T value) {
+    DWI_ASSERT(!full());
+    slots_[tail_] = std::move(value);
+    tail_ = next(tail_);
+    ++size_;
+  }
+
+  /// Attempt to insert; returns false when full.
+  bool try_push(T value) {
+    if (full()) return false;
+    push(std::move(value));
+    return true;
+  }
+
+  /// Look at the oldest element; the buffer must not be empty.
+  const T& front() const {
+    DWI_ASSERT(!empty());
+    return slots_[head_];
+  }
+
+  /// Remove and return the oldest element; the buffer must not be empty.
+  T pop() {
+    DWI_ASSERT(!empty());
+    T value = std::move(slots_[head_]);
+    head_ = next(head_);
+    --size_;
+    return value;
+  }
+
+  void clear() {
+    head_ = tail_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::size_t next(std::size_t i) const {
+    return i + 1 == capacity_ ? 0 : i + 1;
+  }
+
+  std::vector<T> slots_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dwi

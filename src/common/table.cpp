@@ -1,0 +1,100 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+
+#include "common/error.h"
+
+namespace dwi {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  DWI_REQUIRE(rows_.empty(), "set_header must precede add_row");
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  DWI_REQUIRE(row.size() == header_.size(),
+              "row arity must match header arity");
+  rows_.push_back(Row{false, std::move(row)});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{true, {}}); }
+
+void TextTable::render(std::ostream& os) const {
+  // DWI_FORMAT=csv switches every bench table to machine-readable
+  // output (plotting scripts) without touching the binaries.
+  if (const char* fmt = std::getenv("DWI_FORMAT");
+      fmt != nullptr && std::string_view(fmt) == "csv") {
+    render_csv(os);
+    return;
+  }
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const Row& r : rows_) {
+    if (r.separator) continue;
+    for (std::size_t c = 0; c < r.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], r.cells[c].size());
+    }
+  }
+
+  auto print_rule = [&] {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+         << cells[c] << " |";
+    }
+    os << '\n';
+  };
+
+  print_rule();
+  print_cells(header_);
+  print_rule();
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (rows_[i].separator) {
+      // A trailing separator would double the closing rule.
+      if (i + 1 < rows_.size()) print_rule();
+    } else {
+      print_cells(rows_[i].cells);
+    }
+  }
+  print_rule();
+}
+
+void TextTable::render_csv(std::ostream& os) const {
+  auto print_csv_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  print_csv_row(header_);
+  for (const Row& r : rows_) {
+    if (!r.separator) print_csv_row(r.cells);
+  }
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << v;
+  return oss.str();
+}
+
+std::string TextTable::integer(long long v) { return std::to_string(v); }
+
+std::string TextTable::percent(double fraction, int precision) {
+  return num(fraction * 100.0, precision) + "%";
+}
+
+}  // namespace dwi

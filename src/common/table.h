@@ -1,0 +1,50 @@
+// Minimal console table printer used by the benchmark harness to emit
+// the paper's tables/figure series as aligned text (and optionally CSV).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dwi {
+
+/// Builds a column-aligned text table. Cells are strings; helpers format
+/// numbers with a fixed precision. Rendering pads every column to its
+/// widest cell, mirroring how the paper's tables read.
+class TextTable {
+ public:
+  /// Set the header row. Must be called before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Append a horizontal separator line.
+  void add_separator();
+
+  /// Render to an output stream with ASCII borders. Setting the
+  /// environment variable DWI_FORMAT=csv switches to CSV output (all
+  /// bench binaries become plotting-script-friendly at once).
+  void render(std::ostream& os) const;
+
+  /// Render rows as CSV (header first, separators skipped).
+  void render_csv(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Format helpers used by the bench binaries.
+  static std::string num(double v, int precision = 2);
+  static std::string integer(long long v);
+  static std::string percent(double fraction, int precision = 2);
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace dwi

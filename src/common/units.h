@@ -1,0 +1,87 @@
+// Unit-carrying value types used across the timing and power models.
+//
+// The simulators mix three time bases (FPGA cycles, seconds, host
+// milliseconds) and two data bases (bytes, 512-bit beats); keeping them
+// as distinct vocabulary types prevents the classic cycles-vs-ns mixups.
+#pragma once
+
+#include <cstdint>
+
+namespace dwi {
+
+/// A count of FPGA clock cycles.
+struct Cycles {
+  std::uint64_t value = 0;
+
+  constexpr Cycles() = default;
+  constexpr explicit Cycles(std::uint64_t v) : value(v) {}
+
+  constexpr Cycles operator+(Cycles o) const { return Cycles{value + o.value}; }
+  constexpr Cycles operator-(Cycles o) const { return Cycles{value - o.value}; }
+  constexpr Cycles& operator+=(Cycles o) {
+    value += o.value;
+    return *this;
+  }
+  constexpr auto operator<=>(const Cycles&) const = default;
+
+  /// Convert to seconds at a given clock frequency.
+  constexpr double seconds_at(double hz) const {
+    return static_cast<double>(value) / hz;
+  }
+  constexpr double milliseconds_at(double hz) const {
+    return seconds_at(hz) * 1e3;
+  }
+};
+
+/// Seconds as a double, tagged.
+struct Seconds {
+  double value = 0.0;
+  constexpr Seconds() = default;
+  constexpr explicit Seconds(double v) : value(v) {}
+  constexpr double milliseconds() const { return value * 1e3; }
+  constexpr Seconds operator+(Seconds o) const { return Seconds{value + o.value}; }
+  constexpr Seconds operator-(Seconds o) const { return Seconds{value - o.value}; }
+  constexpr auto operator<=>(const Seconds&) const = default;
+};
+
+/// Bytes as an unsigned count, tagged.
+struct Bytes {
+  std::uint64_t value = 0;
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(std::uint64_t v) : value(v) {}
+  constexpr double gigabytes() const {
+    return static_cast<double>(value) / 1e9;
+  }
+  constexpr Bytes operator+(Bytes o) const { return Bytes{value + o.value}; }
+  constexpr auto operator<=>(const Bytes&) const = default;
+};
+
+/// Bandwidth in bytes/second derived from tagged quantities.
+constexpr double bandwidth_gbps(Bytes bytes, Seconds t) {
+  return bytes.gigabytes() / t.value;
+}
+
+/// Energy in joules, tagged.
+struct Joules {
+  double value = 0.0;
+  constexpr Joules() = default;
+  constexpr explicit Joules(double v) : value(v) {}
+  constexpr Joules operator+(Joules o) const { return Joules{value + o.value}; }
+  constexpr Joules operator-(Joules o) const { return Joules{value - o.value}; }
+  constexpr auto operator<=>(const Joules&) const = default;
+};
+
+/// Watts, tagged.
+struct Watts {
+  double value = 0.0;
+  constexpr Watts() = default;
+  constexpr explicit Watts(double v) : value(v) {}
+  constexpr Watts operator+(Watts o) const { return Watts{value + o.value}; }
+  constexpr auto operator<=>(const Watts&) const = default;
+};
+
+constexpr Joules operator*(Watts p, Seconds t) {
+  return Joules{p.value * t.value};
+}
+
+}  // namespace dwi

@@ -1,0 +1,144 @@
+#include "core/decoupled_work_items.h"
+
+#include <limits>
+
+#include "common/error.h"
+#include "hls/dataflow.h"
+
+namespace dwi::core {
+
+std::vector<float> DecoupledResult::to_floats() const {
+  std::vector<float> out;
+  out.reserve(total_floats);
+  for (const MemoryWord& w : device_buffer) {
+    for (unsigned lane = 0; lane < 16 && out.size() < total_floats; ++lane) {
+      out.push_back(unpack_g512(w, lane));
+    }
+  }
+  return out;
+}
+
+std::vector<float> DecoupledResult::work_item_slice(
+    unsigned wid, std::uint64_t floats_per_wi) const {
+  DWI_REQUIRE(floats_per_wi % 16 == 0, "slice must be beat-aligned");
+  const std::uint64_t words_per_wi = floats_per_wi / 16;
+  const std::uint64_t begin = wid * words_per_wi;
+  DWI_REQUIRE(begin + words_per_wi <= device_buffer.size(),
+              "work-item slice out of range");
+  std::vector<float> out;
+  out.reserve(floats_per_wi);
+  for (std::uint64_t w = begin; w < begin + words_per_wi; ++w) {
+    for (unsigned lane = 0; lane < 16; ++lane) {
+      out.push_back(unpack_g512(device_buffer[w], lane));
+    }
+  }
+  return out;
+}
+
+DecoupledResult run_decoupled_work_items(const DecoupledConfig& cfg,
+                                         const ComputeFn& compute) {
+  DWI_REQUIRE(cfg.work_items >= 1 && cfg.work_items <= 64,
+              "work-item count out of range");
+  DWI_REQUIRE(cfg.floats_per_work_item % 16 == 0,
+              "per-work-item length must be a multiple of 16 floats");
+
+  const std::uint64_t words_per_wi = cfg.floats_per_work_item / 16;
+
+  DecoupledResult result;
+  result.total_floats =
+      cfg.floats_per_work_item * static_cast<std::uint64_t>(cfg.work_items);
+  result.device_buffer.assign(words_per_wi * cfg.work_items, MemoryWord{});
+
+  // The streams must outlive the region; one per work-item (single
+  // producer-consumer pairs — the DATAFLOW constraint of §III-A).
+  std::vector<std::unique_ptr<hls::stream<float>>> streams;
+  streams.reserve(cfg.work_items);
+  for (unsigned w = 0; w < cfg.work_items; ++w) {
+    streams.push_back(std::make_unique<hls::stream<float>>(
+        cfg.stream_depth, "gammaStream" + std::to_string(w)));
+  }
+
+  hls::DataflowRegion region;
+  std::span<MemoryWord> device_span(result.device_buffer);
+  for (unsigned w = 0; w < cfg.work_items; ++w) {
+    hls::stream<float>& s = *streams[w];
+    region.add_process("GammaRNG" + std::to_string(w),
+                       [&compute, w, &s, &cfg] {
+                         compute(w, s, cfg.floats_per_work_item);
+                       });
+    TransferUnitConfig tcfg;
+    tcfg.work_item_id = w;
+    tcfg.words_per_burst = cfg.words_per_burst;
+    tcfg.total_floats = cfg.floats_per_work_item;
+    tcfg.word_offset = static_cast<std::uint64_t>(w) * words_per_wi;
+    region.add_process("Transfer" + std::to_string(w),
+                       [tcfg, &s, device_span] {
+                         run_transfer_unit(tcfg, s, device_span);
+                       });
+  }
+  region.run();
+  return result;
+}
+
+DecoupledResult run_gamma_task(
+    const DecoupledConfig& cfg,
+    const std::function<GammaWorkItemConfig(unsigned wid)>& make_config) {
+  // Validate every work-item's quota BEFORE the dataflow region spins
+  // up: a contract failure inside a compute thread would leave its
+  // Transfer peer blocked on the stream and deadlock the join.
+  auto work_items =
+      std::make_shared<std::vector<std::unique_ptr<GammaWorkItem>>>();
+  work_items->reserve(cfg.work_items);
+  for (unsigned wid = 0; wid < cfg.work_items; ++wid) {
+    work_items->push_back(std::make_unique<GammaWorkItem>(make_config(wid)));
+    DWI_REQUIRE(work_items->back()->total_quota() ==
+                    cfg.floats_per_work_item,
+                "work-item quota must match the transfer slice");
+  }
+  return run_decoupled_work_items(
+      cfg, [work_items](unsigned wid, hls::stream<float>& out,
+                        std::uint64_t total_floats) {
+        GammaWorkItem& wi = *(*work_items)[wid];
+        std::uint64_t produced = 0;
+        while (produced < total_floats && !wi.finished()) {
+          float value = 0.0f;
+          if (wi.produce(&value)) {
+            out.write(value);
+            ++produced;
+          }
+        }
+        if (produced < total_floats) {
+          // limitMax exhausted the sector before the quota: pad the
+          // slice with NaNs so the Transfer process can drain and the
+          // dataflow region can join, then surface the failure.
+          for (std::uint64_t i = produced; i < total_floats; ++i) {
+            out.write(std::numeric_limits<float>::quiet_NaN());
+          }
+          DWI_REQUIRE(false,
+                      "work-item exhausted limitMax before its quota");
+        }
+      });
+}
+
+std::vector<float> combine_buffers_at_host(
+    const std::vector<std::vector<MemoryWord>>& per_wi_buffers,
+    std::uint64_t floats_per_wi) {
+  DWI_REQUIRE(!per_wi_buffers.empty(), "no buffers to combine");
+  DWI_REQUIRE(floats_per_wi % 16 == 0, "slice must be beat-aligned");
+  std::vector<float> host(per_wi_buffers.size() * floats_per_wi);
+  // N read requests, each with destination offset wid · L/N (§III-E1).
+  for (std::size_t wid = 0; wid < per_wi_buffers.size(); ++wid) {
+    const auto& buf = per_wi_buffers[wid];
+    DWI_REQUIRE(buf.size() * 16 >= floats_per_wi,
+                "device buffer shorter than the slice");
+    std::uint64_t out = wid * floats_per_wi;
+    for (std::uint64_t w = 0; w < floats_per_wi / 16; ++w) {
+      for (unsigned lane = 0; lane < 16; ++lane) {
+        host[out++] = unpack_g512(buf[w], lane);
+      }
+    }
+  }
+  return host;
+}
+
+}  // namespace dwi::core

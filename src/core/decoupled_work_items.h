@@ -1,0 +1,82 @@
+// Listing 1: DecoupledWorkItems — the paper's central design pattern.
+//
+// N OpenCL work-items are instantiated as N independent pipelines
+// inside a single Task, each split into a compute function (GammaRNG)
+// and a Transfer function connected by a blocking hls::stream, all
+// scheduled concurrently by #pragma HLS DATAFLOW. A work-item's
+// data-dependent branches (rejections) therefore never stall any other
+// work-item — Fig 2c's "hardware partitions of one work-item each".
+//
+// This is the functional execution of that structure: every process
+// runs on its own thread (hls::DataflowRegion), the streams enforce the
+// real FIFO handshakes, and the transfer units write into the shared
+// device buffer at wid-based offsets (§III-E2 device-level combining).
+// The matching host-level combining strategy (§III-E1: N device
+// buffers gathered into one host buffer by N offset reads) is also
+// provided for the ablation bench.
+//
+// The pattern is generic: any ProducerFactory-compatible compute
+// function can replace GammaRNG (§V: "can be easily reused or
+// customized to any application") — see examples/custom_rejection_kernel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/gamma_work_item.h"
+#include "core/transfer_unit.h"
+#include "hls/stream.h"
+
+namespace dwi::core {
+
+/// A compute process: writes exactly `total_floats` validated values to
+/// the stream, then returns. GammaWorkItem provides the paper's kernel;
+/// custom applications provide their own.
+using ComputeFn =
+    std::function<void(unsigned wid, hls::stream<float>& out,
+                       std::uint64_t total_floats)>;
+
+struct DecoupledConfig {
+  unsigned work_items = 6;
+  std::uint64_t floats_per_work_item = 16 * 1024;
+  unsigned words_per_burst = 16;   ///< LTRANSF
+  std::size_t stream_depth = 64;   ///< gammaStream FIFO depth
+};
+
+/// Result of one Task invocation.
+struct DecoupledResult {
+  /// The device global-memory buffer, one contiguous slice per
+  /// work-item (device-level combining: a single buffer).
+  std::vector<MemoryWord> device_buffer;
+  std::uint64_t total_floats = 0;
+
+  /// Unpack everything into floats, in work-item-major order.
+  std::vector<float> to_floats() const;
+  /// Unpack one work-item's slice.
+  std::vector<float> work_item_slice(unsigned wid, std::uint64_t floats_per_wi)
+      const;
+};
+
+/// Run the DecoupledWorkItems Task: 2N concurrent processes (compute +
+/// transfer per work-item) under dataflow semantics.
+DecoupledResult run_decoupled_work_items(const DecoupledConfig& cfg,
+                                         const ComputeFn& compute);
+
+/// Convenience: the paper's kernel. Builds one GammaWorkItem per wid
+/// from `make_config(wid)` and runs the Task.
+DecoupledResult run_gamma_task(
+    const DecoupledConfig& cfg,
+    const std::function<GammaWorkItemConfig(unsigned wid)>& make_config);
+
+/// §III-E1: host-level combining — each work-item writes its own device
+/// buffer; the host enqueues N reads, each landing at offset
+/// wid·L/N of one host buffer. Returns the combined host buffer; used
+/// by the ablation bench to show functional equivalence of the two
+/// strategies.
+std::vector<float> combine_buffers_at_host(
+    const std::vector<std::vector<MemoryWord>>& per_wi_buffers,
+    std::uint64_t floats_per_wi);
+
+}  // namespace dwi::core

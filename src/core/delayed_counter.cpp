@@ -1,0 +1,44 @@
+#include "core/delayed_counter.h"
+
+#include <algorithm>
+
+namespace dwi::core {
+
+DelayedCounter::DelayedCounter(unsigned break_id)
+    : break_id_(break_id), prev_(break_id + 1, 0) {
+  DWI_REQUIRE(break_id < 16, "break id unreasonably large");
+}
+
+void DelayedCounter::update_registers() {
+  // Shift register: prev_[j] <- prev_[j-1], prev_[0] <- counter. In
+  // hardware all elements move in the same cycle (the array is
+  // completely partitioned); here we shift from the tail.
+  for (std::size_t j = prev_.size(); j-- > 1;) prev_[j] = prev_[j - 1];
+  prev_[0] = counter_;
+}
+
+void DelayedCounter::increment() { ++counter_; }
+
+std::uint32_t DelayedCounter::delayed_value() const {
+  return prev_[break_id_];
+}
+
+void DelayedCounter::reset() {
+  counter_ = 0;
+  for (auto& p : prev_) p = 0;
+}
+
+unsigned achieved_initiation_interval(unsigned counter_chain_latency,
+                                      unsigned delay_iterations) {
+  DWI_REQUIRE(counter_chain_latency >= 1, "chain latency must be >= 1");
+  // Recurrence-constrained minimum II (Rau): the counter cycle has
+  // `counter_chain_latency` cycles of latency and a total dependence
+  // distance of 1 + delay_iterations (the loop back-edge plus the
+  // shift-register delay) — II = ceil(latency / distance). The
+  // modulo-scheduling model in fpga/scheduler.h derives the same
+  // value from the full Listing 2 dependence graph (tested).
+  const unsigned distance = 1 + delay_iterations;
+  return std::max(1u, (counter_chain_latency + distance - 1) / distance);
+}
+
+}  // namespace dwi::core

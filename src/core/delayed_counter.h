@@ -1,0 +1,66 @@
+// Listing 2's workaround for dynamically-modified loop exit conditions
+// in an II=1 pipeline.
+//
+// Problem: MAINLOOP's exit depends on `counter`, which is incremented
+// inside a data-dependent branch of the *same* iteration. The exit
+// comparison therefore depends on the previous iteration's result — a
+// loop-carried dependency whose latency (increment + compare) exceeds
+// one cycle, forcing the scheduler to II > 1.
+//
+// Workaround: compare against a *delayed* copy of the counter, shifted
+// through a completely partitioned register array `prevCounter` of
+// length breakId+1 (`UpdateRegUI` in the paper). The comparison then
+// reads a register written `breakId+1` iterations ago, breaking the
+// tight recurrence; the pipeline reaches II = 1 at the cost of up to
+// breakId+1 extra (harmless) loop iterations, because the guarded
+// output write (`counter < limitMain`) never emits extra values. The
+// paper finds breakId = 0 — a delay of one cycle — sufficient.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+
+namespace dwi::core {
+
+class DelayedCounter {
+ public:
+  /// `break_id`: index into the delay register array (delay in
+  /// iterations is break_id + 1).
+  explicit DelayedCounter(unsigned break_id = 0);
+
+  /// Listing 2's `UpdateRegUI`: shift the current counter into the
+  /// delay registers. Call exactly once at the top of every iteration.
+  void update_registers();
+
+  /// Increment the live counter (inside the validated-output branch).
+  void increment();
+
+  /// The delayed value `prevCounter[breakId]` used in the loop exit
+  /// comparison.
+  std::uint32_t delayed_value() const;
+
+  /// The live counter (used in the guarded write condition).
+  std::uint32_t value() const { return counter_; }
+
+  unsigned break_id() const { return break_id_; }
+
+  void reset();
+
+ private:
+  unsigned break_id_;
+  std::uint32_t counter_ = 0;
+  std::vector<std::uint32_t> prev_;  ///< fully partitioned in HLS
+};
+
+/// Scheduling model: the II Vivado HLS achieves for MAINLOOP given the
+/// latency of the counter-increment + compare chain and the delay the
+/// workaround provides. Without the workaround (delay 0) the recurrence
+/// forces II = chain latency; each register of delay recovers one
+/// cycle, down to the II=1 floor. Used by the ablation bench
+/// (bench/ablation_counter) and the FPGA timing simulation.
+unsigned achieved_initiation_interval(unsigned counter_chain_latency,
+                                      unsigned delay_iterations);
+
+}  // namespace dwi::core

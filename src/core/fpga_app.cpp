@@ -1,0 +1,92 @@
+#include "core/fpga_app.h"
+
+#include <memory>
+#include <vector>
+
+#include "common/error.h"
+#include "core/delayed_counter.h"
+#include "core/gamma_work_item.h"
+#include "fpga/resource_model.h"
+
+namespace dwi::core {
+
+unsigned config_burst_beats(const rng::AppConfig& config) {
+  // Calibrated against §IV-E's measured transfer bandwidths: 16 beats
+  // (256 RNs) for the Marsaglia-Bray designs, 18 beats (288 RNs) for
+  // the ICDF designs, whose smaller per-work-item datapath leaves BRAM
+  // for a slightly deeper transfer buffer.
+  return config.uses_marsaglia_bray ? 16u : 18u;
+}
+
+unsigned config_initiation_interval(bool use_delayed_counter) {
+  // The counter recurrence is increment → exit-compare: 2 cycles of
+  // latency around the loop back-edge. Naive counter: distance 1 →
+  // II = 2. Delayed counter (breakId = 0, "a delay of one cycle"):
+  // one extra register of distance → II = 1, exactly the paper's
+  // finding. fpga::gamma_mainloop_graph derives the same values.
+  constexpr unsigned kCounterChainLatency = 2;
+  return use_delayed_counter
+             ? achieved_initiation_interval(kCounterChainLatency, 1)
+             : achieved_initiation_interval(kCounterChainLatency, 0);
+}
+
+FpgaRunResult run_fpga_application(const rng::AppConfig& config,
+                                   const FpgaWorkload& workload,
+                                   std::uint32_t seed,
+                                   bool use_delayed_counter) {
+  DWI_REQUIRE(workload.scale_divisor >= 1, "scale divisor must be >= 1");
+
+  const auto& dev = fpga::adm_pcie_7v3();
+  FpgaRunResult result;
+  result.work_items = fpga::max_work_items(dev, config);
+  result.burst_beats = config_burst_beats(config);
+
+  // Scaled per-work-item workload: each work-item covers its share of
+  // the scenarios across every sector (SECLOOP).
+  const std::uint64_t scenarios_sim =
+      std::max<std::uint64_t>(16, workload.num_scenarios /
+                                      (workload.scale_divisor *
+                                       result.work_items));
+  // Keep the transfer slice beat-aligned (16 floats).
+  const std::uint64_t outputs_per_sector = (scenarios_sim / 16) * 16;
+  const std::uint64_t quota =
+      outputs_per_sector * workload.num_sectors;
+
+  fpga::KernelSimConfig sim_cfg;
+  sim_cfg.work_items = result.work_items;
+  sim_cfg.initiation_interval =
+      config_initiation_interval(use_delayed_counter);
+  sim_cfg.burst_beats = result.burst_beats;
+  sim_cfg.outputs_per_work_item = quota;
+
+  const unsigned n_wi = result.work_items;
+  result.sim = fpga::simulate_kernel(
+      sim_cfg, [&](unsigned wid) -> std::unique_ptr<fpga::ProducerModel> {
+        GammaWorkItemConfig wcfg;
+        wcfg.app = config;
+        wcfg.sector_variances.assign(workload.num_sectors,
+                                     workload.sector_variance);
+        wcfg.outputs_per_sector =
+            static_cast<std::uint32_t>(outputs_per_sector);
+        wcfg.work_item_id = wid;
+        wcfg.seed = seed + 0x1000u * static_cast<std::uint32_t>(n_wi);
+        return std::make_unique<GammaWorkItem>(wcfg);
+      });
+
+  result.seconds_simulated = result.sim.seconds_at(dev.clock_hz);
+  result.seconds_full = fpga::extrapolate_seconds(
+      result.sim, workload.total_outputs(), dev.clock_hz);
+  result.rejection_rate = result.sim.rejection_rate();
+  result.bandwidth_gbps = result.sim.bandwidth_bytes(dev.clock_hz) / 1e9;
+  result.eq1_seconds = fpga::eq1_theoretical_seconds(
+      workload.total_outputs(), result.work_items, dev.clock_hz,
+      result.rejection_rate);
+  result.compute_stall_fraction =
+      result.sim.cycles == 0
+          ? 0.0
+          : static_cast<double>(result.sim.compute_stall_cycles) /
+                (static_cast<double>(result.sim.cycles) * result.work_items);
+  return result;
+}
+
+}  // namespace dwi::core

@@ -1,0 +1,142 @@
+#include "core/gamma_work_item.h"
+
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/error.h"
+#include "rng/erfinv.h"
+#include "rng/icdf_bitwise.h"
+#include "rng/normal.h"
+
+namespace dwi::core {
+
+namespace {
+
+std::uint32_t derive_seed(std::uint32_t base, unsigned wid, unsigned stream) {
+  // SplitMix-style mixing so work-items and streams decorrelate even
+  // with adjacent base seeds.
+  std::uint64_t z = (static_cast<std::uint64_t>(base) << 32) ^
+                    (static_cast<std::uint64_t>(wid) * 0x9e3779b97f4a7c15ull) ^
+                    (static_cast<std::uint64_t>(stream) * 0xbf58476d1ce4e5b9ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return static_cast<std::uint32_t>(z >> 32) | 1u;
+}
+
+}  // namespace
+
+GammaWorkItem::GammaWorkItem(const GammaWorkItemConfig& cfg)
+    : cfg_(cfg),
+      mt0a_(cfg.app.mt, derive_seed(cfg.seed, cfg.work_item_id, 0)),
+      mt0b_(cfg.app.mt, derive_seed(cfg.seed, cfg.work_item_id, 1)),
+      mt1_(cfg.app.mt, derive_seed(cfg.seed, cfg.work_item_id, 2)),
+      mt2_(cfg.app.mt, derive_seed(cfg.seed, cfg.work_item_id, 3)),
+      counter_(cfg.break_id) {
+  DWI_REQUIRE(!cfg.sector_variances.empty(), "need at least one sector");
+  DWI_REQUIRE(cfg.outputs_per_sector > 0, "empty sector quota");
+  enter_sector(0);
+}
+
+void GammaWorkItem::enter_sector(std::size_t sector) {
+  sector_ = sector;
+  k_ = 0;
+  counter_.reset();
+  const float v = cfg_.sector_variances[sector];
+  gamma_k_ = rng::GammaConstants::from_sector_variance(v);
+  // Listing 2: bool alphaFlag = (alpha <= 1.0f);
+  alpha_flag_ = gamma_k_.alpha <= 1.0f;
+  // limitMax: generous rejection headroom (the stochastic process can
+  // exceed the mean attempt count; 4x + slack covers it for all v).
+  limit_max_ = cfg_.limit_max != 0
+                   ? cfg_.limit_max
+                   : cfg_.outputs_per_sector * 4u + 1024u;
+}
+
+bool GammaWorkItem::produce(float* value) {
+  if (finished_) return false;
+
+  // ---- MAINLOOP exit checks (Listing 2's for-condition) ---------------
+  // Uses the DELAYED counter, so the loop may run breakId+1 extra
+  // iterations after the quota is met — the guarded write below keeps
+  // those iterations output-free.
+  while (k_ >= limit_max_ ||
+         counter_.delayed_value() >= cfg_.outputs_per_sector) {
+    DWI_ASSERT(counter_.value() == cfg_.outputs_per_sector ||
+               k_ >= limit_max_);
+    if (sector_ + 1 >= cfg_.sector_variances.size()) {
+      finished_ = true;
+      return false;
+    }
+    enter_sector(sector_ + 1);
+  }
+
+  ++iterations_;
+  ++k_;
+  counter_.update_registers();
+
+  // ---- Normal RN -------------------------------------------------------
+  float n0 = 0.0f;
+  bool n0_valid = false;
+  switch (cfg_.app.fpga_transform) {
+    case rng::NormalTransform::kMarsagliaBray: {
+      // Both input twisters advance every iteration (enable = true):
+      // the polar method consumes a fresh pair per attempt.
+      const auto a = rng::marsaglia_bray_attempt(mt0a_.next(true),
+                                                 mt0b_.next(true));
+      n0 = a.value;
+      n0_valid = a.valid;
+      break;
+    }
+    case rng::NormalTransform::kIcdfBitwise: {
+      const auto r = rng::normal_icdf_bitwise(mt0a_.next(true));
+      n0 = r.value;
+      n0_valid = r.valid;
+      break;
+    }
+    case rng::NormalTransform::kIcdfCuda: {
+      n0 = rng::normal_icdf_cuda(mt0a_.next(true));
+      n0_valid = true;
+      break;
+    }
+    case rng::NormalTransform::kBoxMuller: {
+      n0 = rng::box_muller(mt0a_.next(true), mt0b_.next(true));
+      n0_valid = true;
+      break;
+    }
+  }
+
+  // ---- Uniform RN (for rejection): MT1 advances only when the normal
+  // stage produced a value (Listing 2: MT1(n0_valid, ...)). -------------
+  const float u1 = uint2float_open0(mt1_.next(n0_valid));
+
+  // ---- Rejection method ------------------------------------------------
+  const rng::GammaAttempt g = rng::gamma_attempt(n0, u1, gamma_k_);
+  const bool g_rn_ok = n0_valid && g.valid;
+
+  // ---- Uniform RN for correction: MT2 advances only on acceptance. ----
+  const float u2 = uint2float_open0(mt2_.next(g_rn_ok));
+  const float g_corrected = rng::gamma_correct(g.value, u2, gamma_k_);
+
+  // ---- Output selection + guarded write --------------------------------
+  const float gamma = alpha_flag_ ? g_corrected : g.value;
+  if (g_rn_ok && counter_.value() < cfg_.outputs_per_sector) {
+    counter_.increment();
+    ++outputs_;
+    *value = gamma;
+    return true;
+  }
+  return false;
+}
+
+double GammaWorkItem::rejection_rate() const {
+  if (iterations_ == 0) return 0.0;
+  return 1.0 -
+         static_cast<double>(outputs_) / static_cast<double>(iterations_);
+}
+
+std::uint64_t GammaWorkItem::total_quota() const {
+  return static_cast<std::uint64_t>(cfg_.outputs_per_sector) *
+         cfg_.sector_variances.size();
+}
+
+}  // namespace dwi::core

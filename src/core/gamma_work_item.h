@@ -1,0 +1,94 @@
+// Listing 2: the fully pipelined GammaRNG work-item for the FPGA.
+//
+// One call to step() is one MAINLOOP initiation — the body the paper
+// schedules at II = 1:
+//   * the enable-gated Mersenne-Twisters (Listing 3) run every cycle
+//     but commit state only when their stage actually consumed a value,
+//     so rejections upstream never distort the uniform streams (§II-E);
+//   * the normal transform (Marsaglia-Bray or bit-level ICDF per
+//     config), the Marsaglia-Tsang rejection test and the α<1
+//     correction are computed unconditionally and *selected* by flags,
+//     exactly as a pipelined datapath evaluates both sides;
+//   * the loop exit uses the DelayedCounter workaround, so the work
+//     item runs up to breakId+1 harmless extra iterations per sector;
+//   * the guarded write (`gRN_ok && counter < limitMain`) emits the
+//     validated gamma RN.
+//
+// SECLOOP iterates the financial sectors, each with its own variance
+// (CreditRisk+, §II-D4). The class also implements fpga::ProducerModel
+// so the same object drives the cycle-level timing simulation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/delayed_counter.h"
+#include "fpga/kernel_sim.h"
+#include "rng/configs.h"
+#include "rng/gamma.h"
+#include "rng/mersenne_twister.h"
+
+namespace dwi::core {
+
+struct GammaWorkItemConfig {
+  rng::AppConfig app = rng::config(rng::ConfigId::kConfig1);
+  /// Per-sector variances v_k (CreditRisk+ sectors). One entry per
+  /// SECLOOP trip; the representative setup uses 240 × 1.39.
+  std::vector<float> sector_variances = {1.39f};
+  /// limitMain: validated outputs per sector for this work-item.
+  std::uint32_t outputs_per_sector = 1000;
+  /// limitMax: safety bound on MAINLOOP trips (0 = derive from
+  /// outputs_per_sector with ample rejection headroom).
+  std::uint32_t limit_max = 0;
+  unsigned break_id = 0;  ///< DelayedCounter delay register index
+  unsigned work_item_id = 0;
+  std::uint32_t seed = 1;
+};
+
+class GammaWorkItem final : public fpga::ProducerModel {
+ public:
+  explicit GammaWorkItem(const GammaWorkItemConfig& cfg);
+
+  /// One MAINLOOP initiation. Returns true and sets *value when this
+  /// iteration wrote a validated gamma RN to the stream.
+  bool produce(float* value) override;
+
+  /// True once every sector's quota has been produced.
+  bool finished() const { return finished_; }
+
+  // --- statistics -----------------------------------------------------
+  std::uint64_t iterations() const { return iterations_; }
+  std::uint64_t outputs() const { return outputs_; }
+  /// Combined rejection rate observed so far (§IV-E definition:
+  /// fraction of iterations without a validated output).
+  double rejection_rate() const;
+
+  /// Total validated outputs this work-item will produce.
+  std::uint64_t total_quota() const;
+
+ private:
+  void enter_sector(std::size_t sector);
+
+  GammaWorkItemConfig cfg_;
+
+  // The paper's twisters: MT0 (normal input; Marsaglia-Bray splits it
+  // into two parallel twisters per [18]), MT1 (rejection uniform),
+  // MT2 (correction uniform).
+  rng::AdaptedMersenneTwister mt0a_;
+  rng::AdaptedMersenneTwister mt0b_;
+  rng::AdaptedMersenneTwister mt1_;
+  rng::AdaptedMersenneTwister mt2_;
+
+  DelayedCounter counter_;
+  std::size_t sector_ = 0;
+  std::uint32_t k_ = 0;  ///< MAINLOOP induction variable
+  std::uint32_t limit_max_ = 0;
+  rng::GammaConstants gamma_k_{};
+  bool alpha_flag_ = false;
+  bool finished_ = false;
+
+  std::uint64_t iterations_ = 0;
+  std::uint64_t outputs_ = 0;
+};
+
+}  // namespace dwi::core

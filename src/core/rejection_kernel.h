@@ -1,0 +1,127 @@
+// The paper's §V generalization, made a first-class library facility:
+//
+//   "The DecoupledWorkItems function in Listing 1, as well as the
+//    Transfer block in Listing 4, can be easily reused or customized
+//    to any application. The designer just needs to rewrite the
+//    application function in Listing 2."
+//
+// RejectionWorkItem<Attempt> is that rewrite reduced to its essence:
+// the designer supplies only the per-iteration attempt (uniforms in,
+// optional value out); the template supplies everything Listing 2
+// scaffolds around it — the enable-gated uniform sources (Listing 3
+// discipline, so rejected iterations never distort the streams), the
+// delayed-counter loop exit at II = 1, the guarded quota write, and
+// the fpga::ProducerModel interface that plugs into both the
+// functional dataflow Task and the cycle-level timing simulation.
+//
+// The Attempt contract:
+//   struct MyAttempt {
+//     static constexpr unsigned kUniformSources = 2;  // gated MTs
+//     // `u` delivers this iteration's uniform from source s; calling
+//     // it *commits* that source's state (enable = true); skipping it
+//     // leaves the stream untouched.
+//     template <typename U>
+//     bool operator()(U&& u, float* value);
+//   };
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/delayed_counter.h"
+#include "fpga/kernel_sim.h"
+#include "rng/mersenne_twister.h"
+
+namespace dwi::core {
+
+struct RejectionKernelConfig {
+  rng::MtParams mt = rng::mt521_params();
+  std::uint32_t quota = 1000;       ///< validated outputs (limitMain)
+  std::uint32_t limit_max = 0;      ///< 0 = derive with rejection headroom
+  unsigned break_id = 0;            ///< delayed-counter register index
+  unsigned work_item_id = 0;
+  std::uint32_t seed = 1;
+};
+
+template <typename Attempt>
+class RejectionWorkItem final : public fpga::ProducerModel {
+ public:
+  static constexpr unsigned kSources = Attempt::kUniformSources;
+
+  explicit RejectionWorkItem(const RejectionKernelConfig& cfg,
+                             Attempt attempt = {})
+      : cfg_(cfg), attempt_(std::move(attempt)), counter_(cfg.break_id),
+        limit_max_(cfg.limit_max != 0 ? cfg.limit_max
+                                      : cfg.quota * 8u + 1024u) {
+    DWI_REQUIRE(cfg.quota > 0, "rejection kernel needs a positive quota");
+    sources_.reserve(kSources);
+    for (unsigned s = 0; s < kSources; ++s) {
+      sources_.emplace_back(cfg.mt, derive_seed(s));
+    }
+  }
+
+  /// One MAINLOOP initiation (II = 1 with the delayed counter).
+  bool produce(float* value) override {
+    if (finished_) return false;
+    if (k_ >= limit_max_ || counter_.delayed_value() >= cfg_.quota) {
+      finished_ = true;
+      return false;
+    }
+    ++k_;
+    ++iterations_;
+    counter_.update_registers();
+
+    // The attempt pulls uniforms through the gated accessor: every
+    // source it touches this iteration commits; untouched sources
+    // observe-without-commit next time — Listing 3's discipline.
+    unsigned calls = 0;
+    auto uniform = [this, &calls](unsigned source) -> std::uint32_t {
+      DWI_ASSERT(source < kSources);
+      ++calls;
+      return sources_[source].next(true);
+    };
+    float v = 0.0f;
+    const bool valid = attempt_(uniform, &v);
+    (void)calls;
+
+    if (valid && counter_.value() < cfg_.quota) {
+      counter_.increment();
+      ++outputs_;
+      *value = v;
+      return true;
+    }
+    return false;
+  }
+
+  bool finished() const { return finished_; }
+  std::uint64_t iterations() const { return iterations_; }
+  std::uint64_t outputs() const { return outputs_; }
+  double rejection_rate() const {
+    return iterations_ == 0 ? 0.0
+                            : 1.0 - static_cast<double>(outputs_) /
+                                        static_cast<double>(iterations_);
+  }
+
+ private:
+  std::uint32_t derive_seed(unsigned stream) const {
+    std::uint64_t z = (static_cast<std::uint64_t>(cfg_.seed) << 32) ^
+                      (cfg_.work_item_id * 0x9e3779b97f4a7c15ull) ^
+                      (stream * 0xbf58476d1ce4e5b9ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<std::uint32_t>(z >> 32) | 1u;
+  }
+
+  RejectionKernelConfig cfg_;
+  Attempt attempt_;
+  std::vector<rng::AdaptedMersenneTwister> sources_;
+  DelayedCounter counter_;
+  std::uint32_t k_ = 0;
+  std::uint32_t limit_max_;
+  bool finished_ = false;
+  std::uint64_t iterations_ = 0;
+  std::uint64_t outputs_ = 0;
+};
+
+}  // namespace dwi::core

@@ -1,0 +1,50 @@
+// Listing 4: the Transfer block — reads validated gamma RNs from the
+// work-item's hls::stream, packs 16 of them into one 512-bit word
+// (`g512` packer, float16-equivalent), collects LTRANSF words in a
+// false-dependence burst buffer, and memcpy-bursts each full buffer to
+// device global memory at the work-item's own offset (§III-E2:
+// device-level buffer combining — one shared device buffer, each
+// work-item addressing its slice via wid).
+//
+// This is the *functional* implementation used by the dataflow
+// execution (DecoupledWorkItems) and by the data-integrity tests; the
+// cycle timing of the same block lives in fpga::simulate_kernel.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hls/ap_uint.h"
+#include "hls/stream.h"
+
+namespace dwi::core {
+
+using MemoryWord = hls::ap_uint<512>;
+
+/// Pack a float into the next lane of a 512-bit word (Listing 4's
+/// `g512` helper). Returns true when the word just became full.
+bool pack_g512(MemoryWord* word, float value, unsigned* lane);
+
+/// Unpack lane `i` of a 512-bit word back to a float.
+float unpack_g512(const MemoryWord& word, unsigned lane);
+
+struct TransferUnitConfig {
+  unsigned work_item_id = 0;
+  /// LTRANSF: 512-bit words per burst buffer.
+  unsigned words_per_burst = 16;
+  /// Total floats this work-item will transfer (its slice length).
+  std::uint64_t total_floats = 0;
+  /// Start offset (in 512-bit words) of this work-item's slice in the
+  /// shared device buffer: blockOffset · wid (Listing 4).
+  std::uint64_t word_offset = 0;
+};
+
+/// Drain `stream` into `device_buffer` per Listing 4. Blocks on stream
+/// reads, so it must run concurrently with its producer (DATAFLOW).
+/// Returns the number of words written.
+std::uint64_t run_transfer_unit(const TransferUnitConfig& cfg,
+                                hls::stream<float>& stream,
+                                std::span<MemoryWord> device_buffer);
+
+}  // namespace dwi::core

@@ -1,0 +1,173 @@
+#include "finance/panjer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace dwi::finance {
+
+namespace series {
+
+std::vector<double> multiply(const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  DWI_REQUIRE(!a.empty() && !b.empty(), "empty series");
+  std::vector<double> c(a.size(), 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0.0) continue;
+    const std::size_t jmax = std::min(b.size(), a.size() - i);
+    for (std::size_t j = 0; j < jmax; ++j) c[i + j] += a[i] * b[j];
+  }
+  return c;
+}
+
+std::vector<double> log(const std::vector<double>& b) {
+  DWI_REQUIRE(!b.empty() && b[0] > 0.0, "log needs positive constant term");
+  // L' B = B'  →  n L_n B_0 = n B_n − Σ_{j=1}^{n-1} j L_j B_{n−j}.
+  std::vector<double> l(b.size(), 0.0);
+  l[0] = std::log(b[0]);
+  for (std::size_t n = 1; n < b.size(); ++n) {
+    double acc = static_cast<double>(n) * b[n];
+    for (std::size_t j = 1; j < n; ++j) {
+      if (n - j < b.size()) acc -= static_cast<double>(j) * l[j] * b[n - j];
+    }
+    l[n] = acc / (static_cast<double>(n) * b[0]);
+  }
+  return l;
+}
+
+std::vector<double> exp(const std::vector<double>& h) {
+  DWI_REQUIRE(!h.empty(), "empty series");
+  // A' = H' A  →  n A_n = Σ_{j=1}^{n} j H_j A_{n−j}.
+  std::vector<double> a(h.size(), 0.0);
+  a[0] = std::exp(h[0]);
+  for (std::size_t n = 1; n < h.size(); ++n) {
+    double acc = 0.0;
+    for (std::size_t j = 1; j <= n; ++j) {
+      acc += static_cast<double>(j) * h[j] * a[n - j];
+    }
+    a[n] = acc / static_cast<double>(n);
+  }
+  return a;
+}
+
+}  // namespace series
+
+double AnalyticLossDistribution::mean() const {
+  double m = 0.0;
+  for (std::size_t n = 0; n < probabilities.size(); ++n) {
+    m += static_cast<double>(n) * probabilities[n];
+  }
+  return m * loss_unit;
+}
+
+double AnalyticLossDistribution::variance() const {
+  const double mu = mean();
+  double m2 = 0.0;
+  for (std::size_t n = 0; n < probabilities.size(); ++n) {
+    const double x = static_cast<double>(n) * loss_unit;
+    m2 += x * x * probabilities[n];
+  }
+  return m2 - mu * mu;
+}
+
+double AnalyticLossDistribution::value_at_risk(double p) const {
+  DWI_REQUIRE(p > 0.0 && p < 1.0, "confidence must be in (0, 1)");
+  double cdf = 0.0;
+  for (std::size_t n = 0; n < probabilities.size(); ++n) {
+    cdf += probabilities[n];
+    if (cdf >= p) return static_cast<double>(n) * loss_unit;
+  }
+  return static_cast<double>(probabilities.size() - 1) * loss_unit;
+}
+
+double AnalyticLossDistribution::expected_shortfall(double p) const {
+  const double var = value_at_risk(p);
+  double mass = 0.0;
+  double acc = 0.0;
+  for (std::size_t n = 0; n < probabilities.size(); ++n) {
+    const double x = static_cast<double>(n) * loss_unit;
+    if (x >= var) {
+      mass += probabilities[n];
+      acc += x * probabilities[n];
+    }
+  }
+  DWI_REQUIRE(mass > 0.0, "no mass beyond the VaR (truncation too short)");
+  return acc / mass;
+}
+
+double AnalyticLossDistribution::captured_mass() const {
+  double m = 0.0;
+  for (double p : probabilities) m += p;
+  return m;
+}
+
+AnalyticLossDistribution creditrisk_plus_analytic(const Portfolio& portfolio,
+                                                  double loss_unit,
+                                                  std::size_t max_bands) {
+  DWI_REQUIRE(loss_unit > 0.0, "loss unit must be positive");
+  DWI_REQUIRE(max_bands >= 2, "need at least two bands");
+
+  const std::size_t k_sectors = portfolio.num_sectors();
+
+  // Exposure bands ν_j and the sector polynomials w_jk p_j z^{ν_j}.
+  // H(z) = log G(z) accumulates each sector's contribution.
+  std::vector<double> h(max_bands, 0.0);
+
+  // Idiosyncratic part: μ0 (Q0(z) − 1) added directly to H.
+  {
+    double mu0 = 0.0;
+    std::vector<double> poly(max_bands, 0.0);
+    for (const auto& o : portfolio.obligors()) {
+      const double w0 = o.idiosyncratic_weight();
+      if (w0 <= 0.0 || o.default_probability <= 0.0) continue;
+      const auto nu = static_cast<std::size_t>(std::max(
+          1.0, std::round(o.exposure / loss_unit)));
+      const double intensity = w0 * o.default_probability;
+      mu0 += intensity;
+      if (nu < max_bands) poly[nu] += intensity;
+      // ν beyond the truncation contributes only to lost mass.
+    }
+    for (std::size_t n = 1; n < max_bands; ++n) h[n] += poly[n];
+    h[0] += -mu0;
+  }
+
+  // Gamma sectors: −α_k · log(1 + v_k μ_k − v_k μ_k Q_k(z)).
+  for (std::size_t k = 0; k < k_sectors; ++k) {
+    const double v = portfolio.sectors()[k].variance;
+    const double alpha = 1.0 / v;
+    double mu_k = 0.0;
+    std::vector<double> b(max_bands, 0.0);
+    for (const auto& o : portfolio.obligors()) {
+      const double w = o.sector_weights[k];
+      if (w <= 0.0 || o.default_probability <= 0.0) continue;
+      const auto nu = static_cast<std::size_t>(std::max(
+          1.0, std::round(o.exposure / loss_unit)));
+      const double intensity = w * o.default_probability;
+      mu_k += intensity;
+      if (nu < max_bands) b[nu] -= v * intensity;  // −v_k μ_k Q_k(z) terms
+    }
+    if (mu_k <= 0.0) continue;
+    b[0] = 1.0 + v * mu_k;
+    const auto log_b = series::log(b);
+    for (std::size_t n = 0; n < max_bands; ++n) h[n] -= alpha * log_b[n];
+  }
+
+  AnalyticLossDistribution dist;
+  dist.loss_unit = loss_unit;
+  dist.probabilities = series::exp(h);
+
+  // Numerical hygiene: clamp the tiny negative coefficients that long
+  // recursions can produce.
+  for (double& p : dist.probabilities) {
+    if (p < 0.0 && p > -1e-12) p = 0.0;
+    DWI_ASSERT(p >= -1e-9);
+  }
+  return dist;
+}
+
+double default_loss_unit(const Portfolio& portfolio) {
+  return portfolio.expected_loss() / 64.0;
+}
+
+}  // namespace dwi::finance

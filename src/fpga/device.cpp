@@ -1,0 +1,25 @@
+#include "fpga/device.h"
+
+namespace dwi::fpga {
+
+const DeviceSpec& adm_pcie_7v3() {
+  static const DeviceSpec spec{};
+  return spec;
+}
+
+const DeviceSpec& aws_f1_vu9p() {
+  static const DeviceSpec spec = [] {
+    DeviceSpec s;
+    s.slices = 295'560;   // 1,182,240 LUTs / 4 (7-series-equivalent units)
+    s.dsps = 6'840;
+    s.bram36 = 2'160;
+    s.clock_hz = 250e6;   // typical SDAccel/Vitis kernel clock on F1
+    s.mem_interface_bits = 512;
+    s.ocl_region_fraction = 0.75;  // the F1 shell is relatively smaller
+    s.route_ceiling_slice_util = 0.60;
+    return s;
+  }();
+  return spec;
+}
+
+}  // namespace dwi::fpga

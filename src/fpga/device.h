@@ -1,0 +1,46 @@
+// Device constants of the paper's FPGA target: Alpha Data ADM-PCIE-7V3
+// with a Xilinx Virtex-7 XC7VX690T-2, driven by SDAccel 2015.4 at
+// 200 MHz (§IV-A), with a 512-bit memory interface [11].
+#pragma once
+
+#include <cstdint>
+
+namespace dwi::fpga {
+
+struct DeviceSpec {
+  // --- silicon (Table II "Available" column) ----------------------------
+  std::uint32_t slices = 107'400;   ///< each: 4 LUTs + 8 FFs (footnote 3)
+  std::uint32_t dsps = 3'600;
+  std::uint32_t bram36 = 1'470;
+
+  // --- SDAccel flow ------------------------------------------------------
+  double clock_hz = 200e6;          ///< achieved kernel clock
+  unsigned mem_interface_bits = 512;  ///< AXI data width [11]
+  /// Fraction of the device available to the reconfigurable OCL region
+  /// (the rest is the PCIe/DDR static region) — Table II footnote 2.
+  double ocl_region_fraction = 2.0 / 3.0;
+  /// Empirical place-and-route ceiling on total slice utilization: the
+  /// paper reached it by adding work-items one at a time until routing
+  /// failed (§IV-C); ~80 % of the OCL region ≈ 54 % of the device.
+  double route_ceiling_slice_util = 0.54;
+
+  /// floats per full-width memory beat.
+  unsigned floats_per_beat() const { return mem_interface_bits / 32; }
+  /// Peak memory bandwidth in bytes/second (one beat per cycle).
+  double peak_bandwidth_bytes() const {
+    return clock_hz * mem_interface_bits / 8.0;
+  }
+};
+
+/// The ADM-PCIE-7V3 as configured in the paper.
+const DeviceSpec& adm_pcie_7v3();
+
+/// A what-if target from the paper's own introduction: the Amazon EC2
+/// F1 instance's Virtex UltraScale+ VU9P [2,3]. Resources expressed in
+/// the same 4-LUT/8-FF slice units as Table II; four DDR4 channels and
+/// a higher achievable kernel clock. Used by bench/extension_scaling
+/// to project the design onto the platform the paper says the industry
+/// is moving to.
+const DeviceSpec& aws_f1_vu9p();
+
+}  // namespace dwi::fpga

@@ -1,0 +1,233 @@
+#include "fpga/kernel_sim.h"
+
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/error.h"
+#include "common/ring_buffer.h"
+
+namespace dwi::fpga {
+
+BernoulliProducer::BernoulliProducer(double acceptance, std::uint32_t seed)
+    : threshold_(static_cast<std::uint32_t>(
+          acceptance >= 1.0 ? 0xffffffffu
+                            : acceptance * 4294967296.0)),
+      state_(seed | 1u) {
+  DWI_REQUIRE(acceptance >= 0.0 && acceptance <= 1.0,
+              "acceptance must be a probability");
+}
+
+bool BernoulliProducer::produce(float* value) {
+  // xorshift64*: cheap, good enough for timing experiments.
+  state_ ^= state_ >> 12;
+  state_ ^= state_ << 25;
+  state_ ^= state_ >> 27;
+  const auto r = static_cast<std::uint32_t>((state_ * 2685821657736338717ull) >> 32);
+  *value = uint2float(r);
+  return r <= threshold_;
+}
+
+namespace {
+
+/// Per-work-item simulation state.
+struct WorkItem {
+  std::unique_ptr<ProducerModel> producer;
+
+  // Compute side.
+  std::uint64_t produced = 0;        ///< accepted outputs emitted
+  unsigned ii_countdown = 0;         ///< cycles until next initiation
+  bool pending_emit = false;         ///< output waiting for FIFO space
+  float pending_value = 0.0f;
+
+  // gammaStream FIFO (occupancy model; values flow through `fifo`).
+  RingBuffer<float> fifo;
+
+  // Transfer unit.
+  unsigned floats_in_beat = 0;       ///< packer fill (0..15)
+  unsigned beats_collected = 0;      ///< beats in the burst buffer
+  bool burst_pending = false;        ///< one outstanding burst
+  std::uint64_t floats_transferred = 0;
+
+  explicit WorkItem(std::size_t depth) : fifo(depth) {}
+};
+
+}  // namespace
+
+KernelSimResult simulate_kernel(const KernelSimConfig& cfg,
+                                const ProducerFactory& make_producer) {
+  DWI_REQUIRE(cfg.work_items >= 1 && cfg.work_items <= 64,
+              "work-item count out of range");
+  DWI_REQUIRE(cfg.initiation_interval >= 1, "II must be at least 1");
+  DWI_REQUIRE(cfg.burst_beats >= 1, "burst must be at least one beat");
+  DWI_REQUIRE(cfg.outputs_per_work_item >= 1, "empty workload");
+
+  const unsigned floats_per_beat = 16;  // 512-bit / fp32
+  DWI_REQUIRE(cfg.memory_channels >= 1, "need at least one memory channel");
+  std::vector<MemoryChannel> channels;
+  channels.reserve(cfg.memory_channels);
+  for (unsigned c = 0; c < cfg.memory_channels; ++c) {
+    channels.emplace_back(cfg.channel);
+  }
+  auto channel_of = [&](std::size_t wid) -> MemoryChannel& {
+    return channels[wid % cfg.memory_channels];
+  };
+
+  std::vector<WorkItem> wis;
+  wis.reserve(cfg.work_items);
+  for (unsigned w = 0; w < cfg.work_items; ++w) {
+    wis.emplace_back(cfg.stream_depth);
+    wis.back().producer = make_producer(w);
+    DWI_REQUIRE(wis.back().producer != nullptr, "null producer");
+  }
+
+  KernelSimResult result;
+  if (cfg.record_outputs) {
+    result.outputs_data.reserve(cfg.work_items *
+                                cfg.outputs_per_work_item);
+  }
+  if (cfg.trace != nullptr) {
+    cfg.trace->work_items.assign(cfg.work_items, std::string());
+    cfg.trace->channel.clear();
+  }
+
+  const std::uint64_t total_floats_per_wi = cfg.outputs_per_work_item;
+
+  std::uint64_t cycle = 0;
+  for (;;) {
+    bool all_done = true;
+
+    for (auto& wi : wis) {
+      char trace_state = '.';
+      // ---- compute pipeline: one initiation every II cycles ----------
+      if (wi.produced < total_floats_per_wi || wi.pending_emit) {
+        all_done = false;
+        if (wi.pending_emit) {
+          // Stalled on a full FIFO: retry the emission (backpressure).
+          trace_state = 'S';
+          if (wi.fifo.try_push(wi.pending_value)) {
+            wi.pending_emit = false;
+            ++wi.produced;
+          } else {
+            ++result.compute_stall_cycles;
+          }
+        } else if (wi.ii_countdown == 0) {
+          trace_state = 'C';
+          ++result.attempts;
+          float value = 0.0f;
+          if (wi.producer->produce(&value)) {
+            if (cfg.record_outputs) result.outputs_data.push_back(value);
+            if (wi.fifo.try_push(value)) {
+              ++wi.produced;
+            } else {
+              wi.pending_emit = true;
+              wi.pending_value = value;
+              ++result.compute_stall_cycles;
+            }
+          }
+          wi.ii_countdown = cfg.initiation_interval - 1;
+        } else {
+          trace_state = '-';
+          --wi.ii_countdown;
+        }
+      }
+      if (cfg.trace != nullptr) {
+        cfg.trace->work_items[static_cast<std::size_t>(&wi - wis.data())]
+            .push_back(trace_state);
+      }
+
+      // ---- transfer unit: drain 1 float/cycle, pack, burst ------------
+      // Double-buffered burst buffer (Listing 4's DEPENDENCE false):
+      // collection continues while one burst is in flight, stalling
+      // only when the second buffer is also full.
+      const auto wid = static_cast<std::size_t>(&wi - wis.data());
+      if (wi.burst_pending &&
+          channel_of(wid).burst_done(static_cast<unsigned>(wid))) {
+        wi.burst_pending = false;
+      }
+      const bool buffer_space =
+          cfg.transfer_double_buffered
+              ? (wi.beats_collected < cfg.burst_beats ||
+                 (!wi.burst_pending &&
+                  wi.beats_collected < 2 * cfg.burst_beats))
+              : (!wi.burst_pending &&
+                 wi.beats_collected < cfg.burst_beats);
+      if (buffer_space && !wi.fifo.empty()) {
+        (void)wi.fifo.pop();
+        ++wi.floats_transferred;
+        if (++wi.floats_in_beat == floats_per_beat) {
+          wi.floats_in_beat = 0;
+          ++wi.beats_collected;
+        }
+      }
+      // Flush the tail: when the work-item is done and a partial beat
+      // remains, pad it to a full beat (the paper's data sizes are
+      // multiples of 16, so this only triggers in tests).
+      const bool wi_done = wi.produced >= total_floats_per_wi &&
+                           !wi.pending_emit && wi.fifo.empty();
+      if (wi_done && wi.floats_in_beat > 0) {
+        wi.floats_in_beat = 0;
+        ++wi.beats_collected;
+      }
+      // Issue a burst when a full buffer is ready, or flush the tail.
+      if (!wi.burst_pending) {
+        unsigned beats = 0;
+        if (wi.beats_collected >= cfg.burst_beats) {
+          beats = cfg.burst_beats;
+        } else if (wi_done && wi.beats_collected > 0) {
+          beats = wi.beats_collected;
+        }
+        if (beats > 0 && channel_of(wid).request_burst(
+                             static_cast<unsigned>(wid), beats)) {
+          wi.beats_collected -= beats;
+          wi.burst_pending = true;
+        }
+      }
+      if (!wi_done || wi.beats_collected > 0 || wi.burst_pending ||
+          wi.floats_in_beat > 0) {
+        all_done = false;
+      }
+    }
+
+    bool channels_idle = true;
+    for (auto& ch : channels) {
+      ch.tick();
+      if (!ch.idle()) channels_idle = false;
+    }
+    if (cfg.trace != nullptr) {
+      const int req = channels[0].active_requester();
+      cfg.trace->channel.push_back(
+          req < 0 ? '.' : static_cast<char>('0' + req % 10));
+    }
+    ++cycle;
+    if (all_done && channels_idle) break;
+    DWI_ASSERT(cycle < (std::uint64_t{1} << 40));  // runaway guard
+  }
+
+  result.cycles = cycle + cfg.pipeline_latency;
+  result.outputs = 0;
+  for (const auto& wi : wis) result.outputs += wi.produced;
+  for (const auto& ch : channels) {
+    result.bursts += ch.bursts_served();
+    result.channel_bytes_per_cycle += ch.bytes_per_cycle();
+  }
+  return result;
+}
+
+double extrapolate_seconds(const KernelSimResult& scaled,
+                           std::uint64_t full_outputs, double clock_hz) {
+  DWI_REQUIRE(scaled.outputs > 0, "cannot extrapolate an empty run");
+  const double cycles_per_output =
+      static_cast<double>(scaled.cycles) /
+      static_cast<double>(scaled.outputs);
+  return cycles_per_output * static_cast<double>(full_outputs) / clock_hz;
+}
+
+double eq1_theoretical_seconds(std::uint64_t total_outputs,
+                               unsigned work_items, double clock_hz,
+                               double rejection_rate) {
+  return static_cast<double>(total_outputs) /
+         (static_cast<double>(work_items) * clock_hz) *
+         (1.0 + rejection_rate);
+}
+
+}  // namespace dwi::fpga

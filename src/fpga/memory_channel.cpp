@@ -1,0 +1,64 @@
+#include "fpga/memory_channel.h"
+
+namespace dwi::fpga {
+
+MemoryChannel::MemoryChannel(MemoryChannelConfig cfg)
+    : cfg_(cfg), queue_(cfg.queue_depth) {}
+
+bool MemoryChannel::request_burst(unsigned requester, unsigned beats) {
+  DWI_REQUIRE(beats >= 1, "empty burst");
+  DWI_REQUIRE(requester < 64, "requester id out of range");
+  return queue_.try_push(Burst{requester, beats});
+}
+
+void MemoryChannel::tick() {
+  ++cycle_;
+  // DRAM refresh: the channel is dead for refresh_cycles at every
+  // interval boundary; an in-flight burst is stretched by pushing its
+  // finish time out.
+  if (cfg_.refresh_interval_cycles != 0 &&
+      cycle_ % cfg_.refresh_interval_cycles == 0) {
+    refresh_until_ = cycle_ + cfg_.refresh_cycles;
+    if (in_flight_) finish_cycle_ += cfg_.refresh_cycles;
+  }
+  if (cycle_ < refresh_until_) {
+    if (in_flight_) ++busy_cycles_;
+    return;
+  }
+  if (!in_flight_ && !queue_.empty()) {
+    current_ = queue_.pop();
+    in_flight_ = true;
+    // The dequeuing tick is the first busy cycle, so the burst
+    // completes after turnaround + beats ticks in total.
+    finish_cycle_ = cycle_ + cfg_.turnaround_cycles + current_.beats - 1;
+  }
+  if (in_flight_) {
+    ++busy_cycles_;
+    if (cycle_ >= finish_cycle_) {
+      beats_transferred_ += current_.beats;
+      data_cycles_ += current_.beats;
+      ++bursts_served_;
+      done_mask_ |= std::uint64_t{1} << current_.requester;
+      in_flight_ = false;
+    }
+  }
+}
+
+bool MemoryChannel::burst_done(unsigned requester) {
+  const std::uint64_t bit = std::uint64_t{1} << requester;
+  if (done_mask_ & bit) {
+    done_mask_ &= ~bit;
+    return true;
+  }
+  return false;
+}
+
+bool MemoryChannel::idle() const { return !in_flight_ && queue_.empty(); }
+
+double MemoryChannel::bytes_per_cycle() const {
+  if (cycle_ == 0) return 0.0;
+  return static_cast<double>(beats_transferred_) * 64.0 /
+         static_cast<double>(cycle_);
+}
+
+}  // namespace dwi::fpga

@@ -1,0 +1,195 @@
+#include "fpga/resource_model.h"
+
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/error.h"
+
+namespace dwi::fpga {
+
+namespace blocks {
+
+// Calibration targets (Table II at the paper's work-item counts):
+//   Config1/2 (6 WI): 53.43/52.75 % slices, 23.67 % DSP, 20.31 % BRAM
+//   Config3/4 (8 WI): 52.92/52.72 % slices, 21.56 % DSP, 24.05 % BRAM
+// Derived per-work-item budgets: ~3600 slices / 142 DSP / ~30 BRAM for
+// the Marsaglia-Bray pipeline, ~2630 slices / 97 DSP / ~30 BRAM for the
+// ICDF pipeline, on top of a 1/3-device static region. Individual block
+// numbers below are sized from Xilinx 7-series operator footprints and
+// scaled to meet those budgets.
+
+BlockResources mersenne_twister(unsigned state_words) {
+  BlockResources r;
+  r.dsps = 0;
+  // 624 × 32-bit state exceeds distributed RAM and maps to one BRAM36;
+  // the 17-word MT(521) state stays in LUTRAM, and its narrower index
+  // arithmetic slightly shrinks the control logic (Table II: Config2's
+  // slice count is marginally below Config1's).
+  if (state_words * 4 > 512) {
+    r.luts = 560;  // twist/temper xors, shifts, masks, 10-bit index FSM
+    r.ffs = 850;
+    r.bram36 = 1;
+  } else {
+    r.luts = 520;  // same datapath, LUTRAM state, 5-bit index FSM
+    r.ffs = 800;
+    r.bram36 = 0;
+  }
+  return r;
+}
+
+BlockResources marsaglia_bray_unit() {
+  // 2× uint2float, polar arithmetic, compare, logf + 1/x + sqrtf + muls.
+  return {2800, 4500, 51, 0};
+}
+
+BlockResources icdf_bitwise_unit() {
+  // LZD, segment extraction, 2 fixed-point MACs; the 744-entry
+  // coefficient ROM (≈24 Kb) occupies one BRAM36.
+  return {450, 700, 6, 1};
+}
+
+BlockResources box_muller_unit() {
+  // sinf + cosf cores (polynomial/CORDIC hybrid), logf, sqrtf and the
+  // angle scaling — the "heavy trigonometric math operations" of
+  // §II-D2 that Marsaglia-Bray avoids.
+  return {4200, 6500, 64, 0};
+}
+
+BlockResources gamma_unit() {
+  // cube, x⁴ squeeze, exact test with two logf cores.
+  return {2500, 4000, 56, 0};
+}
+
+BlockResources correction_unit() {
+  // powf = logf + multiply + expf.
+  return {1350, 2200, 35, 0};
+}
+
+BlockResources transfer_unit() {
+  // 16-float packer, LTRANSF×512-bit double buffer, burst FSM.
+  return {700, 1300, 0, 2};
+}
+
+BlockResources stream_fifo() { return {80, 120, 0, 1}; }
+
+BlockResources axi_plumbing_per_work_item() {
+  // 512-bit AXI master port, datamover FIFOs, interconnect share. The
+  // wide FIFOs dominate per-work-item BRAM — which is why Table II's
+  // BRAM utilization barely reacts to the Mersenne-Twister state size.
+  return {1130, 2000, 0, 23};
+}
+
+BlockResources static_region() {
+  // PCIe endpoint + DDR3 controller + OCL-region shell (≈ 1/3 of the
+  // device, Table II footnote 2).
+  return {107'400, 160'000, 12, 120};
+}
+
+}  // namespace blocks
+
+std::uint32_t slices_from_luts_ffs(std::uint32_t luts, std::uint32_t ffs) {
+  // Each slice: 4 LUTs + 8 FFs (Table II footnote 3); real designs
+  // reach ~75 % packing, so effective capacity is 3 LUTs / 6 FFs.
+  const double by_lut = static_cast<double>(luts) / 3.0;
+  const double by_ff = static_cast<double>(ffs) / 6.0;
+  return static_cast<std::uint32_t>(std::ceil(std::max(by_lut, by_ff)));
+}
+
+namespace {
+
+BlockResources transform_block(rng::NormalTransform t) {
+  switch (t) {
+    case rng::NormalTransform::kMarsagliaBray:
+      return blocks::marsaglia_bray_unit();
+    case rng::NormalTransform::kIcdfBitwise:
+    case rng::NormalTransform::kIcdfCuda:  // not built on FPGAs; proxy
+      return blocks::icdf_bitwise_unit();
+    case rng::NormalTransform::kBoxMuller:
+      return blocks::box_muller_unit();
+  }
+  return blocks::icdf_bitwise_unit();
+}
+
+unsigned twisters_for(rng::NormalTransform t) {
+  return rng::uniforms_per_attempt(t) + 2;  // + rejection + correction
+}
+
+BlockResources work_item_resources_transform(rng::NormalTransform t,
+                                             const rng::MtParams& mt) {
+  BlockResources r;
+  r += blocks::mersenne_twister(mt.n) * twisters_for(t);
+  r += transform_block(t);
+  r += blocks::gamma_unit();
+  r += blocks::correction_unit();
+  r += blocks::transfer_unit();
+  r += blocks::stream_fifo();
+  r += blocks::axi_plumbing_per_work_item();
+  return r;
+}
+
+BlockResources work_item_resources(const rng::AppConfig& config) {
+  return work_item_resources_transform(config.fpga_transform, config.mt);
+}
+
+UtilizationReport report_for(const DeviceSpec& dev, const char* name,
+                             const BlockResources& per_wi,
+                             unsigned work_items) {
+  UtilizationReport rep;
+  rep.config_name = name;
+  rep.work_items = work_items;
+  rep.total = blocks::static_region() + per_wi * work_items;
+  const std::uint32_t slices =
+      slices_from_luts_ffs(rep.total.luts, rep.total.ffs);
+  rep.slice_util = static_cast<double>(slices) / dev.slices;
+  rep.dsp_util = static_cast<double>(rep.total.dsps) / dev.dsps;
+  rep.bram_util = static_cast<double>(rep.total.bram36) / dev.bram36;
+  rep.routable = rep.slice_util <= dev.route_ceiling_slice_util &&
+                 rep.dsp_util <= 1.0 && rep.bram_util <= 1.0;
+  return rep;
+}
+
+}  // namespace
+
+UtilizationReport estimate_utilization(const DeviceSpec& dev,
+                                       const rng::AppConfig& config,
+                                       unsigned work_items) {
+  DWI_REQUIRE(work_items >= 1, "need at least one work-item");
+  return report_for(dev, config.name, work_item_resources(config),
+                    work_items);
+}
+
+unsigned max_work_items(const DeviceSpec& dev, const rng::AppConfig& config) {
+  unsigned n = 0;
+  // §IV-C: "iteratively increased the number of parallel work-items in
+  // steps of one, as far as the place-and-route process allowed."
+  while (estimate_utilization(dev, config, n + 1).routable) {
+    ++n;
+    DWI_ASSERT(n < 1024);  // the device is finite
+  }
+  DWI_REQUIRE(n >= 1, "design does not fit the device at all");
+  return n;
+}
+
+UtilizationReport estimate_utilization_transform(
+    const DeviceSpec& dev, rng::NormalTransform transform,
+    const rng::MtParams& mt, unsigned work_items) {
+  DWI_REQUIRE(work_items >= 1, "need at least one work-item");
+  return report_for(dev, rng::to_string(transform),
+                    work_item_resources_transform(transform, mt),
+                    work_items);
+}
+
+unsigned max_work_items_transform(const DeviceSpec& dev,
+                                  rng::NormalTransform transform,
+                                  const rng::MtParams& mt) {
+  unsigned n = 0;
+  while (estimate_utilization_transform(dev, transform, mt, n + 1)
+             .routable) {
+    ++n;
+    DWI_ASSERT(n < 1024);
+  }
+  DWI_REQUIRE(n >= 1, "design does not fit the device at all");
+  return n;
+}
+
+}  // namespace dwi::fpga

@@ -1,0 +1,106 @@
+// FPGA resource estimator reproducing Table II: post-place-and-route
+// slice / DSP / BRAM utilization of the four configurations, and the
+// paper's §IV-C methodology of growing the number of parallel
+// work-items until place-and-route fails.
+//
+// The estimate is compositional: every hardware block of the design
+// (Mersenne-Twister, the two normal transforms, the gamma datapath,
+// the correction unit, the 512-bit transfer unit, the per-work-item
+// AXI/datamover plumbing, and the PCIe/DDR static region) carries a
+// LUT/FF/DSP/BRAM cost, calibrated so the N_max designs land on
+// Table II (see EXPERIMENTS.md for achieved vs paper). Slices are
+// derived from LUTs/FFs via the device packing model (4 LUT + 8 FF per
+// slice, with an empirical packing efficiency).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fpga/device.h"
+#include "rng/configs.h"
+
+namespace dwi::fpga {
+
+/// Raw resource vector of one hardware block.
+struct BlockResources {
+  std::uint32_t luts = 0;
+  std::uint32_t ffs = 0;
+  std::uint32_t dsps = 0;
+  std::uint32_t bram36 = 0;
+
+  BlockResources operator+(const BlockResources& o) const {
+    return {luts + o.luts, ffs + o.ffs, dsps + o.dsps, bram36 + o.bram36};
+  }
+  BlockResources operator*(std::uint32_t n) const {
+    return {luts * n, ffs * n, dsps * n, bram36 * n};
+  }
+  BlockResources& operator+=(const BlockResources& o) {
+    return *this = *this + o;
+  }
+};
+
+/// The block library (one entry per distinct datapath block).
+namespace blocks {
+/// One Mersenne-Twister: twist/temper logic plus state storage; the
+/// state maps to BRAM when it exceeds the distributed-RAM threshold
+/// (MT19937's 624 words do, MT521's 17 words do not).
+BlockResources mersenne_twister(unsigned state_words);
+/// Marsaglia-Bray: 2× uint2float, polar arithmetic, log/sqrt/divide.
+BlockResources marsaglia_bray_unit();
+/// Bit-level segmented ICDF: LZD, coefficient ROM, 2 fixed-point MACs.
+BlockResources icdf_bitwise_unit();
+/// Box-Muller (§II-D2's well-known alternative): sinf/cosf cores plus
+/// log/sqrt — the trigonometric cost the paper avoids. Used by the
+/// transform ablation only.
+BlockResources box_muller_unit();
+/// Gamma candidate + squeeze + exact test (cube, x⁴, two logs).
+BlockResources gamma_unit();
+/// α<1 correction: powf = log+exp+mul.
+BlockResources correction_unit();
+/// Listing 4: 16-float packer, LTRANSF-word burst buffer, memcpy FSM.
+BlockResources transfer_unit();
+/// hls::stream FIFO between GammaRNG and Transfer.
+BlockResources stream_fifo();
+/// Per-work-item share of the OCL-region AXI datamover / interconnect
+/// (512-bit wide, heavily BRAM-buffered — this is why Table II's BRAM
+/// is insensitive to the MT state size).
+BlockResources axi_plumbing_per_work_item();
+/// PCIe + DDR controller static region (Table II footnote 1).
+BlockResources static_region();
+}  // namespace blocks
+
+/// Utilization report of one configuration at a work-item count.
+struct UtilizationReport {
+  std::string config_name;
+  unsigned work_items = 0;
+  BlockResources total;      ///< including the static region
+  double slice_util = 0.0;   ///< fraction of device slices
+  double dsp_util = 0.0;
+  double bram_util = 0.0;
+  bool routable = false;     ///< within the P&R ceiling
+};
+
+/// Estimate resources of `config` with `work_items` parallel pipelines.
+UtilizationReport estimate_utilization(const DeviceSpec& dev,
+                                       const rng::AppConfig& config,
+                                       unsigned work_items);
+
+/// §IV-C methodology: grow the work-item count until P&R fails; returns
+/// the last routable count (paper: 6 for Config1/2, 8 for Config3/4).
+unsigned max_work_items(const DeviceSpec& dev, const rng::AppConfig& config);
+
+/// Ablation variants: utilization / max work-items for an arbitrary
+/// uniform-to-normal transform (e.g. Box-Muller, which no Table I
+/// configuration uses) with the given twister parameters.
+UtilizationReport estimate_utilization_transform(
+    const DeviceSpec& dev, rng::NormalTransform transform,
+    const rng::MtParams& mt, unsigned work_items);
+unsigned max_work_items_transform(const DeviceSpec& dev,
+                                  rng::NormalTransform transform,
+                                  const rng::MtParams& mt);
+
+/// Slices implied by LUT/FF counts under the packing model.
+std::uint32_t slices_from_luts_ffs(std::uint32_t luts, std::uint32_t ffs);
+
+}  // namespace dwi::fpga

@@ -1,0 +1,164 @@
+#include "fpga/scheduler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/bits.h"
+#include "common/error.h"
+
+namespace dwi::fpga {
+
+DependenceGraph::OpId DependenceGraph::add_operation(std::string name,
+                                                     unsigned latency,
+                                                     std::string resource) {
+  DWI_REQUIRE(latency >= 1, "operations take at least one cycle");
+  ops_.push_back(Op{std::move(name), latency, std::move(resource)});
+  return ops_.size() - 1;
+}
+
+void DependenceGraph::add_dependence(OpId from, OpId to, unsigned distance) {
+  DWI_REQUIRE(from < ops_.size() && to < ops_.size(),
+              "dependence references unknown operation");
+  edges_.push_back(Edge{from, to, distance});
+}
+
+bool DependenceGraph::feasible_at(unsigned ii) const {
+  DWI_REQUIRE(ii >= 1, "II must be at least 1");
+  // Bellman-Ford longest path on weights w(u→v) = latency(u) − II·dist.
+  // A positive cycle means the recurrence cannot close within II.
+  const std::size_t n = ops_.size();
+  std::vector<long long> dist(n, 0);
+  for (std::size_t round = 0; round <= n; ++round) {
+    bool changed = false;
+    for (const Edge& e : edges_) {
+      const long long w = static_cast<long long>(ops_[e.from].latency) -
+                          static_cast<long long>(ii) * e.distance;
+      if (dist[e.from] + w > dist[e.to]) {
+        dist[e.to] = dist[e.from] + w;
+        changed = true;
+        if (round == n) return false;  // still relaxing: positive cycle
+      }
+    }
+    if (!changed) return true;
+  }
+  return true;
+}
+
+unsigned DependenceGraph::recurrence_mii() const {
+  // Graphs here are small; a linear scan suffices and is exact.
+  unsigned ii = 1;
+  while (!feasible_at(ii)) {
+    ++ii;
+    DWI_ASSERT(ii <= 4096);
+  }
+  return ii;
+}
+
+unsigned DependenceGraph::resource_mii(
+    const std::map<std::string, unsigned>& available) const {
+  std::map<std::string, unsigned> uses;
+  for (const Op& op : ops_) {
+    if (!op.resource.empty()) ++uses[op.resource];
+  }
+  unsigned mii = 1;
+  for (const auto& [res, count] : uses) {
+    const auto it = available.find(res);
+    const unsigned avail = it == available.end() ? count : it->second;
+    DWI_REQUIRE(avail >= 1, "resource class with zero instances");
+    mii = std::max(mii, ceil_div(count, avail));
+  }
+  return mii;
+}
+
+unsigned DependenceGraph::min_initiation_interval(
+    const std::map<std::string, unsigned>& available) const {
+  return std::max(recurrence_mii(), resource_mii(available));
+}
+
+std::vector<unsigned> DependenceGraph::schedule_at(unsigned ii) const {
+  DWI_REQUIRE(feasible_at(ii), "no schedule exists at this II");
+  const std::size_t n = ops_.size();
+  std::vector<long long> start(n, 0);
+  for (std::size_t round = 0; round < n + 1; ++round) {
+    for (const Edge& e : edges_) {
+      const long long w = static_cast<long long>(ops_[e.from].latency) -
+                          static_cast<long long>(ii) * e.distance;
+      start[e.to] = std::max(start[e.to], start[e.from] + w);
+    }
+  }
+  // Shift so the earliest op starts at 0.
+  long long lo = 0;
+  for (long long s : start) lo = std::min(lo, s);
+  std::vector<unsigned> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<unsigned>(start[i] - lo);
+  }
+  return out;
+}
+
+unsigned DependenceGraph::depth_at(unsigned ii) const {
+  const auto sched = schedule_at(ii);
+  unsigned depth = 0;
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    depth = std::max(depth, sched[i] + ops_[i].latency);
+  }
+  return depth;
+}
+
+DependenceGraph gamma_mainloop_graph(unsigned counter_delay,
+                                     bool uses_marsaglia_bray) {
+  DWI_REQUIRE(counter_delay >= 1, "delay distance is at least 1");
+  DependenceGraph g;
+
+  // --- datapath (latencies: Virtex-7 floating-point operator depths) ---
+  const auto mt0 = g.add_operation("MT0", 2);
+  const auto transform = uses_marsaglia_bray
+                             ? g.add_operation("MarsagliaBray", 28)
+                             : g.add_operation("IcdfBitwise", 8);
+  const auto mt1 = g.add_operation("MT1", 2);
+  const auto reject = g.add_operation("GammaReject", 24);
+  const auto mt2 = g.add_operation("MT2", 2);
+  const auto correct = g.add_operation("Correct(pow)", 30);
+  const auto select = g.add_operation("OutputSelect", 1);
+  const auto write = g.add_operation("GuardedWrite", 1);
+
+  g.add_dependence(mt0, transform);
+  g.add_dependence(transform, reject);
+  g.add_dependence(mt1, reject);
+  g.add_dependence(reject, correct);
+  g.add_dependence(mt2, correct);
+  g.add_dependence(correct, select);
+  g.add_dependence(select, write);
+
+  // Twister state recurrences: each MT step consumes the state written
+  // by the previous iteration — latency 2, distance 1... which would
+  // force II = 2; the implementation splits read and update phases so
+  // the recurrence closes in 1 cycle (Listing 3's structure).
+  const auto mt0_state = g.add_operation("MT0.state", 1);
+  const auto mt1_state = g.add_operation("MT1.state", 1);
+  const auto mt2_state = g.add_operation("MT2.state", 1);
+  g.add_dependence(mt0_state, mt0_state, 1);
+  g.add_dependence(mt1_state, mt1_state, 1);
+  g.add_dependence(mt2_state, mt2_state, 1);
+  g.add_dependence(mt0_state, mt0);
+  g.add_dependence(mt1_state, mt1);
+  g.add_dependence(mt2_state, mt2);
+
+  // --- loop-control recurrence (the Listing 2 problem) ----------------
+  // guarded increment → exit compare → (back edge) next iteration's
+  // increment: 2 cycles of latency around the loop. The compare reads
+  // the counter through `counter_delay - 1` delay registers
+  // (UpdateRegUI's prevCounter shift), i.e. total dependence distance
+  // counter_delay: 1 for the naive counter (II = 2), breakId + 2 for
+  // the workaround (II = 1 already at breakId = 0 — the paper's
+  // "delay of one cycle").
+  const auto increment = g.add_operation("counter++", 1);
+  const auto compare = g.add_operation("exit-compare", 1);
+  g.add_dependence(write, increment);  // guard arrives from the datapath
+  g.add_dependence(increment, compare, counter_delay - 1);
+  g.add_dependence(compare, increment, 1);  // loop back-edge
+
+  return g;
+}
+
+}  // namespace dwi::fpga

@@ -1,0 +1,95 @@
+// Modulo-scheduling model of the Vivado HLS pipeline scheduler: given
+// a loop body as a dependence graph of operations (with latencies and
+// inter-iteration dependence distances), derive the minimum initiation
+// interval the pipeline can sustain.
+//
+// This is the machinery that makes the paper's Listing 2 story
+// *derivable* instead of asserted: the dynamically-modified loop exit
+// creates a recurrence (increment → compare → exit-select → next
+// iteration's increment) whose total latency exceeds one cycle, so
+// RecMII > 1; the delayed-counter workaround raises the dependence
+// distance of that cycle (the comparison reads a value written
+// breakId+1 iterations earlier), and RecMII = ceil(latency / distance)
+// drops back to 1.
+//
+// Standard theory (Rau): MII = max(RecMII, ResMII).
+//   * RecMII: the smallest II for which the constraint system
+//       start(v) ≥ start(u) + latency(u) − II·distance(u→v)
+//     has no positive cycle — found by testing candidate IIs with a
+//     Bellman-Ford positive-cycle check (graphs here are tiny).
+//   * ResMII: ⌈uses of each resource class / available instances⌉.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dwi::fpga {
+
+class DependenceGraph {
+ public:
+  using OpId = std::size_t;
+
+  /// Add an operation with `latency` cycles; `resource` names the
+  /// hardware class it occupies each initiation ("" = fully pipelined
+  /// dedicated hardware, never a ResMII constraint).
+  OpId add_operation(std::string name, unsigned latency,
+                     std::string resource = {});
+
+  /// Add a dependence `from → to` with inter-iteration `distance`
+  /// (0 = same iteration; k = `to` consumes the value `from` produced
+  /// k iterations earlier).
+  void add_dependence(OpId from, OpId to, unsigned distance = 0);
+
+  std::size_t operation_count() const { return ops_.size(); }
+  const std::string& operation_name(OpId id) const { return ops_[id].name; }
+
+  /// Recurrence-constrained minimum II.
+  unsigned recurrence_mii() const;
+
+  /// Resource-constrained minimum II given instance counts per class
+  /// (classes not listed are assumed unlimited).
+  unsigned resource_mii(
+      const std::map<std::string, unsigned>& available) const;
+
+  /// MII = max(RecMII, ResMII, 1).
+  unsigned min_initiation_interval(
+      const std::map<std::string, unsigned>& available = {}) const;
+
+  /// True when the constraint system admits a schedule at `ii`
+  /// (no positive-weight cycle).
+  bool feasible_at(unsigned ii) const;
+
+  /// A valid ASAP modulo schedule at `ii` (start cycle per op);
+  /// requires feasible_at(ii).
+  std::vector<unsigned> schedule_at(unsigned ii) const;
+
+  /// Total latency of the scheduled body (pipeline depth).
+  unsigned depth_at(unsigned ii) const;
+
+ private:
+  struct Op {
+    std::string name;
+    unsigned latency;
+    std::string resource;
+  };
+  struct Edge {
+    OpId from, to;
+    unsigned distance;
+  };
+
+  std::vector<Op> ops_;
+  std::vector<Edge> edges_;
+};
+
+/// Build the dependence graph of Listing 2's MAINLOOP body:
+/// the datapath chain (twisters → transform → rejection → correction →
+/// guarded write) plus the loop-control recurrence. `counter_delay` is
+/// the dependence distance of the exit comparison (1 = naive counter,
+/// breakId+2 = delayed by the shift register); `uses_marsaglia_bray`
+/// selects the normal-transform stage.
+DependenceGraph gamma_mainloop_graph(unsigned counter_delay,
+                                     bool uses_marsaglia_bray);
+
+}  // namespace dwi::fpga

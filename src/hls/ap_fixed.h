@@ -1,0 +1,100 @@
+// ap_fixed<W, I>: signed fixed-point number with W total bits, I integer
+// bits (including sign) and W-I fractional bits, modelled on the Vivado
+// HLS type (ap_fixed.h). The bit-level "FPGA-style" ICDF transform
+// (de Schryver et al. [19]) evaluates its segment polynomials in this
+// arithmetic, which is what gives the FPGA implementation its resource
+// advantage over floating point.
+//
+// Semantics implemented (the Vivado defaults): truncation toward
+// negative infinity on quantization (AP_TRN) and wraparound on overflow
+// (AP_WRAP). Multiplication computes the full 2W-bit product internally
+// (via __int128) and truncates back to the W-bit format, which is how a
+// DSP-mapped fixed-point multiply behaves after the output cast.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+
+#include "common/error.h"
+
+namespace dwi::hls {
+
+template <unsigned W, unsigned I>
+class ap_fixed {
+  static_assert(W >= 2 && W <= 64, "ap_fixed supports widths 2..64");
+  static_assert(I >= 1 && I <= W, "integer bits must be in [1, W]");
+
+ public:
+  static constexpr unsigned width = W;
+  static constexpr unsigned integer_bits = I;
+  static constexpr unsigned frac_bits = W - I;
+
+  constexpr ap_fixed() = default;
+
+  /// Quantize a double (truncation toward -inf, AP_TRN; wrap, AP_WRAP).
+  constexpr explicit ap_fixed(double v)
+      : raw_(wrap(static_cast<std::int64_t>(
+            std::floor(v * std::exp2(static_cast<double>(frac_bits)))))) {}
+
+  /// Build from a raw fixed-point bit pattern.
+  static constexpr ap_fixed from_raw(std::int64_t raw) {
+    ap_fixed f;
+    f.raw_ = wrap(raw);
+    return f;
+  }
+
+  constexpr std::int64_t raw() const { return raw_; }
+
+  constexpr double to_double() const {
+    return static_cast<double>(raw_) *
+           std::exp2(-static_cast<double>(frac_bits));
+  }
+  constexpr float to_float() const { return static_cast<float>(to_double()); }
+
+  constexpr ap_fixed operator+(ap_fixed o) const {
+    return from_raw(raw_ + o.raw_);
+  }
+  constexpr ap_fixed operator-(ap_fixed o) const {
+    return from_raw(raw_ - o.raw_);
+  }
+  constexpr ap_fixed operator-() const { return from_raw(-raw_); }
+
+  /// Full-precision product truncated back to this format.
+  constexpr ap_fixed operator*(ap_fixed o) const {
+    __extension__ using int128 = __int128;
+    const int128 prod = static_cast<int128>(raw_) * o.raw_;
+    return from_raw(static_cast<std::int64_t>(prod >> frac_bits));
+  }
+
+  constexpr ap_fixed operator<<(unsigned s) const {
+    return from_raw(static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(raw_) << s));
+  }
+  constexpr ap_fixed operator>>(unsigned s) const { return from_raw(raw_ >> s); }
+
+  constexpr ap_fixed& operator+=(ap_fixed o) { return *this = *this + o; }
+  constexpr ap_fixed& operator-=(ap_fixed o) { return *this = *this - o; }
+  constexpr ap_fixed& operator*=(ap_fixed o) { return *this = *this * o; }
+
+  constexpr auto operator<=>(const ap_fixed&) const = default;
+
+  /// Smallest representable increment.
+  static constexpr double epsilon() {
+    return std::exp2(-static_cast<double>(frac_bits));
+  }
+
+ private:
+  static constexpr std::int64_t wrap(std::int64_t v) {
+    if constexpr (W == 64) return v;
+    const std::uint64_t mask = (std::uint64_t{1} << W) - 1;
+    std::uint64_t u = static_cast<std::uint64_t>(v) & mask;
+    const std::uint64_t sign = std::uint64_t{1} << (W - 1);
+    if (u & sign) u |= ~mask;
+    return static_cast<std::int64_t>(u);
+  }
+
+  std::int64_t raw_ = 0;
+};
+
+}  // namespace dwi::hls

@@ -1,0 +1,61 @@
+// ap_int<W>: fixed-width signed integer with two's-complement wraparound,
+// modelled on the Vivado HLS type. Widths up to 64 bits are supported,
+// which covers every signed quantity in the reproduced kernels; wider
+// unsigned data uses ap_uint<W>.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+#include "common/error.h"
+
+namespace dwi::hls {
+
+template <unsigned W>
+class ap_int {
+  static_assert(W >= 1 && W <= 64, "ap_int supports widths 1..64");
+
+ public:
+  static constexpr unsigned width = W;
+
+  constexpr ap_int() = default;
+  constexpr ap_int(std::int64_t v) : raw_(wrap(v)) {}  // NOLINT
+
+  constexpr std::int64_t value() const { return raw_; }
+
+  constexpr ap_int operator+(ap_int o) const { return ap_int(raw_ + o.raw_); }
+  constexpr ap_int operator-(ap_int o) const { return ap_int(raw_ - o.raw_); }
+  constexpr ap_int operator*(ap_int o) const { return ap_int(raw_ * o.raw_); }
+  constexpr ap_int operator-() const { return ap_int(-raw_); }
+  constexpr ap_int operator&(ap_int o) const { return ap_int(raw_ & o.raw_); }
+  constexpr ap_int operator|(ap_int o) const { return ap_int(raw_ | o.raw_); }
+  constexpr ap_int operator^(ap_int o) const { return ap_int(raw_ ^ o.raw_); }
+  constexpr ap_int operator<<(unsigned s) const {
+    return ap_int(static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(raw_) << (s >= W ? W : s)));
+  }
+  /// Arithmetic right shift.
+  constexpr ap_int operator>>(unsigned s) const {
+    if (s >= W) return ap_int(raw_ < 0 ? -1 : 0);
+    return ap_int(raw_ >> s);
+  }
+  constexpr ap_int& operator+=(ap_int o) { return *this = *this + o; }
+  constexpr ap_int& operator-=(ap_int o) { return *this = *this - o; }
+
+  constexpr auto operator<=>(const ap_int&) const = default;
+
+ private:
+  // Wrap to W bits, sign-extending bit W-1.
+  static constexpr std::int64_t wrap(std::int64_t v) {
+    if constexpr (W == 64) return v;
+    const std::uint64_t mask = (std::uint64_t{1} << W) - 1;
+    std::uint64_t u = static_cast<std::uint64_t>(v) & mask;
+    const std::uint64_t sign = std::uint64_t{1} << (W - 1);
+    if (u & sign) u |= ~mask;
+    return static_cast<std::int64_t>(u);
+  }
+
+  std::int64_t raw_ = 0;
+};
+
+}  // namespace dwi::hls

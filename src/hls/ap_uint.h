@@ -1,0 +1,309 @@
+// ap_uint<W>: arbitrary-precision unsigned integer modelled on the
+// Vivado HLS type of the same name (ap_int.h). The paper's Transfer
+// block (Listing 4) packs sixteen single-precision values into an
+// ap_uint<512> word before bursting it to device global memory; this
+// implementation provides the subset of the Vivado semantics the
+// kernels rely on, in portable C++20:
+//
+//   * value semantics, width fixed at compile time, modulo-2^W wraparound
+//   * construction/assignment from built-in unsigned integers
+//   * bitwise ops, shifts, addition/subtraction/multiplication
+//   * bit test/set and runtime range read/write in chunks of <= 64 bits
+//     (set_range / get_range64, replacing Vivado's operator()(hi, lo))
+//
+// Storage is little-endian uint64 limbs; bits above W are kept zero as a
+// class invariant so comparisons are plain limb comparisons.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "common/error.h"
+
+namespace dwi::hls {
+
+template <unsigned W>
+class ap_uint {
+  static_assert(W >= 1 && W <= 4096, "ap_uint width out of supported range");
+
+ public:
+  static constexpr unsigned width = W;
+  static constexpr unsigned num_limbs = (W + 63) / 64;
+
+  constexpr ap_uint() = default;
+
+  constexpr ap_uint(std::uint64_t v) {  // NOLINT(google-explicit-constructor)
+    limbs_[0] = v;
+    trim();
+  }
+
+  /// Widening / narrowing conversion between widths; narrowing truncates
+  /// (modulo 2^W), matching Vivado semantics.
+  template <unsigned V>
+  explicit constexpr ap_uint(const ap_uint<V>& other) {
+    const unsigned n = num_limbs < ap_uint<V>::num_limbs
+                           ? num_limbs
+                           : ap_uint<V>::num_limbs;
+    for (unsigned i = 0; i < n; ++i) limbs_[i] = other.limb(i);
+    trim();
+  }
+
+  constexpr std::uint64_t limb(unsigned i) const {
+    return i < num_limbs ? limbs_[i] : 0;
+  }
+
+  /// Low 64 bits (truncating), matching Vivado's to_uint64().
+  constexpr std::uint64_t to_uint64() const { return limbs_[0]; }
+  constexpr std::uint32_t to_uint32() const {
+    return static_cast<std::uint32_t>(limbs_[0]);
+  }
+
+  constexpr bool is_zero() const {
+    for (unsigned i = 0; i < num_limbs; ++i) {
+      if (limbs_[i] != 0) return false;
+    }
+    return true;
+  }
+
+  /// Test bit `pos` (0-based from LSB).
+  constexpr bool bit(unsigned pos) const {
+    DWI_ASSERT(pos < W);
+    return (limbs_[pos / 64] >> (pos % 64)) & 1u;
+  }
+
+  /// Set bit `pos` to `value`.
+  constexpr void set_bit(unsigned pos, bool value) {
+    DWI_ASSERT(pos < W);
+    const std::uint64_t mask = std::uint64_t{1} << (pos % 64);
+    if (value) {
+      limbs_[pos / 64] |= mask;
+    } else {
+      limbs_[pos / 64] &= ~mask;
+    }
+  }
+
+  /// Read bits [hi:lo] (inclusive, hi-lo <= 63) as a uint64.
+  constexpr std::uint64_t get_range64(unsigned hi, unsigned lo) const {
+    DWI_ASSERT(hi < W && lo <= hi && hi - lo < 64);
+    const unsigned nbits = hi - lo + 1;
+    const unsigned limb_i = lo / 64;
+    const unsigned off = lo % 64;
+    std::uint64_t v = limbs_[limb_i] >> off;
+    if (off + nbits > 64 && limb_i + 1 < num_limbs) {
+      v |= limbs_[limb_i + 1] << (64 - off);
+    }
+    if (nbits < 64) v &= (std::uint64_t{1} << nbits) - 1;
+    return v;
+  }
+
+  /// Write bits [hi:lo] (inclusive, hi-lo <= 63) from a uint64; bits of
+  /// `value` above the range width are ignored.
+  constexpr void set_range(unsigned hi, unsigned lo, std::uint64_t value) {
+    DWI_ASSERT(hi < W && lo <= hi && hi - lo < 64);
+    const unsigned nbits = hi - lo + 1;
+    const std::uint64_t mask =
+        nbits == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << nbits) - 1;
+    value &= mask;
+    const unsigned limb_i = lo / 64;
+    const unsigned off = lo % 64;
+    limbs_[limb_i] = (limbs_[limb_i] & ~(mask << off)) | (value << off);
+    if (off + nbits > 64 && limb_i + 1 < num_limbs) {
+      const unsigned spill = off + nbits - 64;
+      const std::uint64_t spill_mask = (std::uint64_t{1} << spill) - 1;
+      limbs_[limb_i + 1] = (limbs_[limb_i + 1] & ~spill_mask) |
+                           ((value >> (64 - off)) & spill_mask);
+    }
+    trim();
+  }
+
+  // --- bitwise -----------------------------------------------------------
+  constexpr ap_uint operator~() const {
+    ap_uint r;
+    for (unsigned i = 0; i < num_limbs; ++i) r.limbs_[i] = ~limbs_[i];
+    r.trim();
+    return r;
+  }
+  constexpr ap_uint operator&(const ap_uint& o) const {
+    ap_uint r;
+    for (unsigned i = 0; i < num_limbs; ++i) r.limbs_[i] = limbs_[i] & o.limbs_[i];
+    return r;
+  }
+  constexpr ap_uint operator|(const ap_uint& o) const {
+    ap_uint r;
+    for (unsigned i = 0; i < num_limbs; ++i) r.limbs_[i] = limbs_[i] | o.limbs_[i];
+    return r;
+  }
+  constexpr ap_uint operator^(const ap_uint& o) const {
+    ap_uint r;
+    for (unsigned i = 0; i < num_limbs; ++i) r.limbs_[i] = limbs_[i] ^ o.limbs_[i];
+    return r;
+  }
+  constexpr ap_uint& operator&=(const ap_uint& o) { return *this = *this & o; }
+  constexpr ap_uint& operator|=(const ap_uint& o) { return *this = *this | o; }
+  constexpr ap_uint& operator^=(const ap_uint& o) { return *this = *this ^ o; }
+
+  // --- shifts ------------------------------------------------------------
+  constexpr ap_uint operator<<(unsigned s) const {
+    ap_uint r;
+    if (s >= W) return r;
+    const unsigned limb_shift = s / 64;
+    const unsigned bit_shift = s % 64;
+    for (unsigned i = num_limbs; i-- > 0;) {
+      std::uint64_t v = 0;
+      if (i >= limb_shift) {
+        v = limbs_[i - limb_shift] << bit_shift;
+        if (bit_shift != 0 && i > limb_shift) {
+          v |= limbs_[i - limb_shift - 1] >> (64 - bit_shift);
+        }
+      }
+      r.limbs_[i] = v;
+    }
+    r.trim();
+    return r;
+  }
+  constexpr ap_uint operator>>(unsigned s) const {
+    ap_uint r;
+    if (s >= W) return r;
+    const unsigned limb_shift = s / 64;
+    const unsigned bit_shift = s % 64;
+    for (unsigned i = 0; i < num_limbs; ++i) {
+      std::uint64_t v = 0;
+      if (i + limb_shift < num_limbs) {
+        v = limbs_[i + limb_shift] >> bit_shift;
+        if (bit_shift != 0 && i + limb_shift + 1 < num_limbs) {
+          v |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+        }
+      }
+      r.limbs_[i] = v;
+    }
+    return r;
+  }
+  constexpr ap_uint& operator<<=(unsigned s) { return *this = *this << s; }
+  constexpr ap_uint& operator>>=(unsigned s) { return *this = *this >> s; }
+
+  // --- arithmetic (modulo 2^W) --------------------------------------------
+  constexpr ap_uint operator+(const ap_uint& o) const {
+    ap_uint r;
+    std::uint64_t carry = 0;
+    for (unsigned i = 0; i < num_limbs; ++i) {
+      const std::uint64_t a = limbs_[i];
+      const std::uint64_t s1 = a + o.limbs_[i];
+      const std::uint64_t c1 = s1 < a ? 1u : 0u;
+      const std::uint64_t s2 = s1 + carry;
+      const std::uint64_t c2 = s2 < s1 ? 1u : 0u;
+      r.limbs_[i] = s2;
+      carry = c1 + c2;
+    }
+    r.trim();
+    return r;
+  }
+  constexpr ap_uint operator-(const ap_uint& o) const {
+    ap_uint r;
+    std::uint64_t borrow = 0;
+    for (unsigned i = 0; i < num_limbs; ++i) {
+      const std::uint64_t a = limbs_[i];
+      const std::uint64_t b = o.limbs_[i];
+      const std::uint64_t d1 = a - b;
+      const std::uint64_t b1 = a < b ? 1u : 0u;
+      const std::uint64_t d2 = d1 - borrow;
+      const std::uint64_t b2 = d1 < borrow ? 1u : 0u;
+      r.limbs_[i] = d2;
+      borrow = b1 + b2;
+    }
+    r.trim();
+    return r;
+  }
+  constexpr ap_uint operator*(const ap_uint& o) const {
+    ap_uint r;
+    for (unsigned i = 0; i < num_limbs; ++i) {
+      if (limbs_[i] == 0) continue;
+      std::uint64_t carry = 0;
+      __extension__ using uint128 = unsigned __int128;
+      for (unsigned j = 0; i + j < num_limbs; ++j) {
+        const uint128 prod =
+            static_cast<uint128>(limbs_[i]) * o.limbs_[j] +
+            r.limbs_[i + j] + carry;
+        r.limbs_[i + j] = static_cast<std::uint64_t>(prod);
+        carry = static_cast<std::uint64_t>(prod >> 64);
+      }
+    }
+    r.trim();
+    return r;
+  }
+  constexpr ap_uint& operator+=(const ap_uint& o) { return *this = *this + o; }
+  constexpr ap_uint& operator-=(const ap_uint& o) { return *this = *this - o; }
+  constexpr ap_uint& operator++() { return *this += ap_uint(1); }
+
+  /// Quotient and remainder by bit-serial long division (how an HLS
+  /// integer divider core computes it). Divisor must be nonzero.
+  static constexpr void divmod(const ap_uint& num, const ap_uint& den,
+                               ap_uint* quotient, ap_uint* remainder) {
+    DWI_ASSERT(!den.is_zero());
+    ap_uint q;
+    ap_uint r;
+    for (unsigned i = W; i-- > 0;) {
+      r = r << 1;
+      r.set_bit(0, num.bit(i));
+      if (r >= den) {
+        r -= den;
+        q.set_bit(i, true);
+      }
+    }
+    *quotient = q;
+    *remainder = r;
+  }
+  constexpr ap_uint operator/(const ap_uint& o) const {
+    ap_uint q;
+    ap_uint r;
+    divmod(*this, o, &q, &r);
+    return q;
+  }
+  constexpr ap_uint operator%(const ap_uint& o) const {
+    ap_uint q;
+    ap_uint r;
+    divmod(*this, o, &q, &r);
+    return r;
+  }
+
+  // --- comparison ----------------------------------------------------------
+  constexpr bool operator==(const ap_uint& o) const {
+    for (unsigned i = 0; i < num_limbs; ++i) {
+      if (limbs_[i] != o.limbs_[i]) return false;
+    }
+    return true;
+  }
+  constexpr std::strong_ordering operator<=>(const ap_uint& o) const {
+    for (unsigned i = num_limbs; i-- > 0;) {
+      if (limbs_[i] != o.limbs_[i]) return limbs_[i] <=> o.limbs_[i];
+    }
+    return std::strong_ordering::equal;
+  }
+
+  /// Hex string (most significant nibble first), for diagnostics.
+  std::string to_hex_string() const {
+    static constexpr char digits[] = "0123456789abcdef";
+    const unsigned nibbles = (W + 3) / 4;
+    std::string s(nibbles, '0');
+    for (unsigned n = 0; n < nibbles; ++n) {
+      const unsigned pos = n * 4;
+      const unsigned hi = pos + 3 < W ? pos + 3 : W - 1;
+      const auto v = get_range64(hi, pos);
+      s[nibbles - 1 - n] = digits[v & 0xF];
+    }
+    return s;
+  }
+
+ private:
+  constexpr void trim() {
+    constexpr unsigned top_bits = W % 64;
+    if constexpr (top_bits != 0) {
+      limbs_[num_limbs - 1] &= (std::uint64_t{1} << top_bits) - 1;
+    }
+  }
+
+  std::array<std::uint64_t, num_limbs> limbs_{};
+};
+
+}  // namespace dwi::hls

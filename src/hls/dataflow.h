@@ -1,0 +1,68 @@
+// Software model of #pragma HLS DATAFLOW: every function call inside the
+// region becomes a concurrently executing process, communicating only
+// through hls::stream channels (single producer-consumer pairs — the
+// constraint the paper calls out in §III-A). We realize this by running
+// each process on its own std::thread and joining at region exit, which
+// is exactly the completion semantics of the RTL dataflow region.
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+
+namespace dwi::hls {
+
+/// Collects processes and runs them all concurrently on run().
+/// Exceptions thrown by any process are captured and rethrown from
+/// run() after every thread has joined (first one wins).
+class DataflowRegion {
+ public:
+  /// Register a process. `name` is used in error reporting only.
+  void add_process(std::string name, std::function<void()> fn) {
+    processes_.push_back({std::move(name), std::move(fn)});
+  }
+
+  /// Execute all processes concurrently; blocks until all complete.
+  void run() {
+    std::vector<std::thread> threads;
+    std::vector<std::exception_ptr> errors(processes_.size());
+    threads.reserve(processes_.size());
+    for (std::size_t i = 0; i < processes_.size(); ++i) {
+      threads.emplace_back([this, i, &errors] {
+        try {
+          processes_[i].fn();
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (const auto& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+  }
+
+  std::size_t process_count() const { return processes_.size(); }
+
+ private:
+  struct Process {
+    std::string name;
+    std::function<void()> fn;
+  };
+  std::vector<Process> processes_;
+};
+
+/// Convenience: run a parameter pack of callables as one dataflow region.
+template <typename... Fns>
+void dataflow(Fns&&... fns) {
+  DataflowRegion region;
+  (region.add_process("process", std::function<void()>(std::forward<Fns>(fns))),
+   ...);
+  region.run();
+}
+
+}  // namespace dwi::hls

@@ -1,0 +1,24 @@
+#include "hls/pragmas.h"
+
+namespace dwi::hls {
+
+unsigned PragmaSet::effective_ii() const {
+  if (pipeline.empty()) return 0;
+  return pipeline.back().initiation_interval;
+}
+
+std::size_t PragmaSet::stream_depth(const std::string& variable) const {
+  for (const auto& s : streams) {
+    if (s.variable == variable) return s.depth;
+  }
+  return 2;
+}
+
+bool PragmaSet::has_false_dependence(const std::string& variable) const {
+  for (const auto& d : dependences) {
+    if (d.variable == variable && d.is_false_dependence) return true;
+  }
+  return false;
+}
+
+}  // namespace dwi::hls

@@ -1,0 +1,84 @@
+// Descriptors for the HLS pragmas the paper's kernels rely on.
+//
+// In Vivado HLS, pragmas are compile-time directives; in this
+// reproduction they become explicit metadata objects consumed by the
+// FPGA timing simulator (initiation interval, FIFO depth, array
+// partitioning, dependence hints) and by the resource estimator. A
+// kernel description therefore carries the same information a pragma-
+// annotated .c kernel would, but in a form a plain C++ toolchain can
+// check and a simulator can honor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dwi::hls {
+
+/// #pragma HLS PIPELINE II=<n>
+/// Initiation interval the scheduler must sustain. The paper's central
+/// achievement for the main loop is II = 1 despite the loop-carried
+/// counter dependency (Listing 2).
+struct PipelinePragma {
+  unsigned initiation_interval = 1;
+};
+
+/// #pragma HLS STREAM variable=<v> depth=<n>
+struct StreamPragma {
+  std::string variable;
+  std::size_t depth = 2;
+};
+
+/// #pragma HLS ARRAY_PARTITION variable=<v> complete
+/// Complete partitioning turns an array into registers — required for
+/// the prevCounter shift register in Listing 2 so every element is
+/// readable in the same cycle.
+struct ArrayPartitionPragma {
+  std::string variable;
+  bool complete = true;
+  unsigned factor = 0;  ///< cyclic/block factor when not complete
+};
+
+/// #pragma HLS DEPENDENCE variable=<v> inter false
+/// Asserts that successive loop iterations never access the same element
+/// (Listing 4 uses it on the transfer buffer). The simulator honours it
+/// by not inserting stalls for that variable; tests check the assertion
+/// actually holds for the access patterns we generate.
+struct DependencePragma {
+  std::string variable;
+  bool inter_iteration = true;
+  bool is_false_dependence = true;
+};
+
+/// #pragma HLS LOOP_FLATTEN off (Listing 4 disables flattening so the
+/// burst memcpy stays at the REPLOOP boundary).
+struct LoopFlattenPragma {
+  bool enabled = false;
+};
+
+/// #pragma HLS INLINE — function is absorbed into the caller; affects
+/// the resource model (no extra control FSM) but not timing.
+struct InlinePragma {
+  bool enabled = true;
+};
+
+/// The pragma set attached to one loop or function in a kernel model.
+struct PragmaSet {
+  std::vector<PipelinePragma> pipeline;
+  std::vector<StreamPragma> streams;
+  std::vector<ArrayPartitionPragma> partitions;
+  std::vector<DependencePragma> dependences;
+  std::vector<LoopFlattenPragma> flatten;
+
+  /// Effective initiation interval: the innermost PIPELINE pragma, or 0
+  /// (not pipelined) when absent.
+  unsigned effective_ii() const;
+
+  /// FIFO depth for a named stream variable (default 2 when absent).
+  std::size_t stream_depth(const std::string& variable) const;
+
+  /// True when a false-dependence assertion exists for `variable`.
+  bool has_false_dependence(const std::string& variable) const;
+};
+
+}  // namespace dwi::hls

@@ -1,0 +1,49 @@
+#include "minicl/context.h"
+
+#include "common/error.h"
+#include "minicl/devices.h"
+
+namespace dwi::minicl {
+
+Buffer::Buffer(std::uint64_t size_bytes, Access access)
+    : size_(size_bytes), access_(access) {
+  DWI_REQUIRE(size_bytes > 0, "zero-sized buffer");
+}
+
+Context::Context(std::vector<std::shared_ptr<Device>> devices)
+    : devices_(std::move(devices)) {
+  DWI_REQUIRE(!devices_.empty(), "context needs at least one device");
+  for (const auto& d : devices_) {
+    DWI_REQUIRE(d != nullptr, "null device in context");
+  }
+}
+
+BufferPtr Context::create_buffer(std::uint64_t size_bytes,
+                                 Buffer::Access access) {
+  auto buffer = std::make_shared<Buffer>(size_bytes, access);
+  buffers_.push_back(buffer);
+  return buffer;
+}
+
+CommandQueue Context::create_queue(std::size_t device_index,
+                                   PcieModel pcie) const {
+  DWI_REQUIRE(device_index < devices_.size(), "device index out of range");
+  return CommandQueue(*devices_[device_index], pcie);
+}
+
+std::uint64_t Context::allocated_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& b : buffers_) total += b->size();
+  return total;
+}
+
+EventPtr enqueue_read_buffer(CommandQueue& queue, const Buffer& buffer,
+                             std::uint64_t bytes, BufferCombining combining,
+                             unsigned work_items) {
+  DWI_REQUIRE(bytes <= buffer.size(), "read exceeds the buffer size");
+  DWI_REQUIRE(buffer.access() != Buffer::Access::kWriteOnly,
+              "reading a write-only buffer");
+  return queue.enqueue_read(bytes, combining, work_items);
+}
+
+}  // namespace dwi::minicl

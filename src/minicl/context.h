@@ -1,0 +1,70 @@
+// Context and Buffer objects completing the OpenCL-shaped host API:
+// a Context groups devices and owns buffer lifetimes; a Buffer is a
+// sized device allocation with access flags. CommandQueue overloads
+// validate transfers against buffer bounds, catching the classic
+// size-mismatch host bugs the raw byte-count API cannot.
+//
+// §III-E in these terms: host-level combining allocates N buffers of
+// L/N each and enqueues N reads with destination offsets; device-level
+// combining allocates one buffer of L that every work-item addresses
+// through its wid offset (the paper's choice).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "minicl/runtime.h"
+
+namespace dwi::minicl {
+
+class Buffer {
+ public:
+  enum class Access { kReadWrite, kReadOnly, kWriteOnly };
+
+  Buffer(std::uint64_t size_bytes, Access access);
+
+  std::uint64_t size() const { return size_; }
+  Access access() const { return access_; }
+
+ private:
+  std::uint64_t size_;
+  Access access_;
+};
+
+using BufferPtr = std::shared_ptr<Buffer>;
+
+class Context {
+ public:
+  explicit Context(std::vector<std::shared_ptr<Device>> devices);
+
+  /// clCreateBuffer analogue.
+  BufferPtr create_buffer(std::uint64_t size_bytes,
+                          Buffer::Access access = Buffer::Access::kReadWrite);
+
+  /// clCreateCommandQueue analogue (in-order).
+  CommandQueue create_queue(std::size_t device_index = 0,
+                            PcieModel pcie = {}) const;
+
+  const std::vector<std::shared_ptr<Device>>& devices() const {
+    return devices_;
+  }
+  std::size_t buffer_count() const { return buffers_.size(); }
+  /// Total device memory allocated through this context.
+  std::uint64_t allocated_bytes() const;
+
+ private:
+  std::vector<std::shared_ptr<Device>> devices_;
+  std::vector<BufferPtr> buffers_;
+};
+
+/// Bounds- and access-checked read of `bytes` from `buffer` (the
+/// §III-E device-level single-read). Throws on overrun or on reading
+/// a write-only buffer.
+EventPtr enqueue_read_buffer(CommandQueue& queue, const Buffer& buffer,
+                             std::uint64_t bytes,
+                             BufferCombining combining =
+                                 BufferCombining::kDeviceLevel,
+                             unsigned work_items = 1);
+
+}  // namespace dwi::minicl

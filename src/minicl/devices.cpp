@@ -1,0 +1,96 @@
+#include "minicl/devices.h"
+
+#include "common/error.h"
+#include "core/fpga_app.h"
+#include "simt/runtime_estimator.h"
+
+namespace dwi::minicl {
+
+// --- calibrated system-level dynamic power (above the 204 W idle) ---------
+// Fitted so bench/fig9_energy reproduces the paper's ratios: FPGA best
+// by 9.5x / 7.9x / 4.1x vs CPU / GPU / PHI under Config1, shrinking to
+// ~2.2x vs GPU and PHI under Config4 (§IV-F). The efficiency-gated
+// draw (dynamic_power_watts) is what makes the ratios config-dependent.
+double cpu_base_dynamic_watts() { return 80.0; }
+double gpu_base_dynamic_watts() { return 91.0; }
+double phi_base_dynamic_watts() { return 110.0; }
+double fpga_base_dynamic_watts() { return 30.0; }
+
+namespace {
+
+// Clock/power gating floor: even fully stalled silicon toggles clocks,
+// queues and the host-side polling loop.
+constexpr double kPowerFloor = 0.55;
+
+double gated_power(double base_watts, double efficiency) {
+  if (efficiency < 0.0) efficiency = 0.0;
+  if (efficiency > 1.0) efficiency = 1.0;
+  return base_watts * (kPowerFloor + (1.0 - kPowerFloor) * efficiency);
+}
+
+}  // namespace
+
+SimtDevice::SimtDevice(const simt::PlatformModel& model,
+                       double base_dynamic_watts)
+    : Device(std::string(simt::to_string(model.id)) + " [" + model.name + "]"),
+      model_(&model), base_dynamic_watts_(base_dynamic_watts) {}
+
+LaunchProfile SimtDevice::execute(const KernelLaunch& launch) {
+  const LaunchKey key = LaunchKey::from(launch);
+  if (auto it = cache_.find(key); it != cache_.end()) return it->second;
+  simt::NdRangeWorkload w;
+  w.total_outputs = launch.total_outputs;
+  w.global_size = launch.global_size;
+  w.local_size = launch.local_size;
+  w.sector_variance = launch.sector_variance;
+  const auto est =
+      simt::estimate_runtime(*model_, launch.config, launch.transform, w);
+  LaunchProfile p;
+  p.kernel_seconds = est.seconds;
+  p.rejection_rate = est.rejection_rate;
+  p.efficiency = est.simd_efficiency;
+  p.bytes_produced = static_cast<double>(launch.total_outputs) * 4.0;
+  cache_.emplace(key, p);
+  return p;
+}
+
+double SimtDevice::dynamic_power_watts(double efficiency) const {
+  return gated_power(base_dynamic_watts_, efficiency);
+}
+
+FpgaDevice::FpgaDevice(double base_dynamic_watts,
+                       std::uint64_t sim_scale_divisor)
+    : Device("FPGA [Alpha Data ADM-PCIE-7V3, Virtex-7 690T]"),
+      base_dynamic_watts_(base_dynamic_watts),
+      sim_scale_divisor_(sim_scale_divisor) {}
+
+LaunchProfile FpgaDevice::execute(const KernelLaunch& launch) {
+  const LaunchKey key = LaunchKey::from(launch);
+  if (auto it = cache_.find(key); it != cache_.end()) return it->second;
+  core::FpgaWorkload w;
+  // Interpret the NDRange totals as the Task workload: scenarios spread
+  // over the standard 240-sector portfolio unless total_outputs is
+  // smaller than one sector sweep.
+  w.num_sectors = 240;
+  if (launch.total_outputs < w.num_sectors * 16ull) {
+    w.num_sectors = 1;
+  }
+  w.num_scenarios = launch.total_outputs / w.num_sectors;
+  w.sector_variance = launch.sector_variance;
+  w.scale_divisor = sim_scale_divisor_;
+
+  const auto run = core::run_fpga_application(launch.config, w);
+  LaunchProfile p;
+  p.kernel_seconds = run.seconds_full;
+  p.rejection_rate = run.rejection_rate;
+  p.efficiency = 1.0 - run.compute_stall_fraction;
+  p.bytes_produced = static_cast<double>(w.total_bytes());
+  cache_.emplace(key, p);
+  return p;
+}
+
+double FpgaDevice::dynamic_power_watts(double efficiency) const {
+  return gated_power(base_dynamic_watts_, efficiency);
+}
+
+}  // namespace dwi::minicl

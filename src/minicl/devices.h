@@ -1,0 +1,104 @@
+// Device implementations behind the minicl runtime: the three
+// fixed-architecture accelerators (backed by the SIMT lockstep model)
+// and the FPGA (backed by the cycle-level dataflow simulator). Each
+// device also exposes its dynamic-power model for the Fig 8/9 energy
+// experiments.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "minicl/runtime.h"
+#include "simt/platform.h"
+
+namespace dwi::minicl {
+
+/// Memoization key for kernel launches: repeated enqueues of the same
+/// kernel (the Fig 8/9 protocol enqueues hundreds) hit the simulation
+/// once. Deterministic engines make this exact, not approximate.
+struct LaunchKey {
+  unsigned config_id;
+  unsigned transform;
+  std::uint64_t total_outputs;
+  std::uint64_t global_size;
+  unsigned local_size;
+  float sector_variance;
+
+  static LaunchKey from(const KernelLaunch& l) {
+    return LaunchKey{static_cast<unsigned>(l.config.id),
+                     static_cast<unsigned>(l.transform), l.total_outputs,
+                     l.global_size, l.local_size, l.sector_variance};
+  }
+  auto tie() const {
+    return std::tie(config_id, transform, total_outputs, global_size,
+                    local_size, sector_variance);
+  }
+  bool operator<(const LaunchKey& o) const { return tie() < o.tie(); }
+};
+
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  const std::string& name() const { return name_; }
+
+  /// Execute one kernel launch; called by CommandQueue.
+  virtual LaunchProfile execute(const KernelLaunch& launch) = 0;
+
+  /// System-level dynamic power (above the 204 W idle baseline) while
+  /// this device runs `launch`-class work with the given efficiency.
+  /// Lower SIMD/pipeline activity gates datapath toggling and lowers
+  /// draw — the mechanism that lets Fig 9's per-config ratios vary.
+  virtual double dynamic_power_watts(double efficiency) const = 0;
+
+ protected:
+  explicit Device(std::string name) : name_(std::move(name)) {}
+
+ private:
+  std::string name_;
+};
+
+/// CPU / GPU / PHI: wraps simt::estimate_runtime.
+class SimtDevice final : public Device {
+ public:
+  explicit SimtDevice(const simt::PlatformModel& model,
+                      double base_dynamic_watts);
+
+  LaunchProfile execute(const KernelLaunch& launch) override;
+  double dynamic_power_watts(double efficiency) const override;
+
+  const simt::PlatformModel& model() const { return *model_; }
+
+ private:
+  const simt::PlatformModel* model_;
+  double base_dynamic_watts_;
+  std::map<LaunchKey, LaunchProfile> cache_;
+};
+
+/// FPGA: wraps core::run_fpga_application. The "bitstream" for a
+/// configuration is selected per launch (config → work-item count and
+/// burst size via the resource model).
+class FpgaDevice final : public Device {
+ public:
+  explicit FpgaDevice(double base_dynamic_watts,
+                      std::uint64_t sim_scale_divisor = 1024);
+
+  LaunchProfile execute(const KernelLaunch& launch) override;
+  double dynamic_power_watts(double efficiency) const override;
+
+ private:
+  double base_dynamic_watts_;
+  std::uint64_t sim_scale_divisor_;
+  std::map<LaunchKey, LaunchProfile> cache_;
+};
+
+/// Calibrated system-level dynamic power constants (see power module
+/// and EXPERIMENTS.md): host + accelerator + cooling above idle.
+double cpu_base_dynamic_watts();
+double gpu_base_dynamic_watts();
+double phi_base_dynamic_watts();
+double fpga_base_dynamic_watts();
+
+}  // namespace dwi::minicl

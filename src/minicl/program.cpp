@@ -1,0 +1,64 @@
+#include "minicl/program.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace dwi::minicl {
+
+Program::Program(std::shared_ptr<Device> device, rng::AppConfig config)
+    : device_(std::move(device)), config_(config) {
+  DWI_REQUIRE(device_ != nullptr, "program needs a device");
+}
+
+BuildResult Program::build(unsigned requested_compute_units) const {
+  BuildResult result;
+  std::ostringstream log;
+
+  const bool is_fpga = device_->name().find("FPGA") != std::string::npos;
+  if (!is_fpga) {
+    // Fixed architectures: fast JIT; compute units = hardware
+    // partitions (informational only — the estimator owns scheduling).
+    result.compute_units =
+        requested_compute_units != 0 ? requested_compute_units : 1;
+    result.build_seconds = 0.2;  // driver JIT
+    log << "clBuildProgram: JIT for " << device_->name() << " ok\n";
+    result.log = log.str();
+    return result;
+  }
+
+  const auto& dev = fpga::adm_pcie_7v3();
+  const unsigned max_cu = fpga::max_work_items(dev, config_);
+  const unsigned cu = requested_compute_units != 0
+                          ? requested_compute_units
+                          : max_cu;
+  result.utilization = fpga::estimate_utilization(dev, config_, cu);
+  result.compute_units = cu;
+  // The 2015-era SDAccel flow: ~1.5 h base plus ~0.5 h per compute
+  // unit of logic to synthesize/place/route (order-of-magnitude model).
+  result.build_seconds = 5'400.0 + 1'800.0 * cu;
+
+  log << "SDAccel build for " << device_->name() << "\n"
+      << "  configuration: " << config_.name << " ("
+      << (config_.uses_marsaglia_bray ? "Marsaglia-Bray" : "ICDF")
+      << ", MT(" << config_.mt.period_exponent() << "))\n"
+      << "  compute units: " << cu << (requested_compute_units == 0
+                                           ? " (auto, max routable)"
+                                           : " (requested)")
+      << "\n"
+      << "  utilization: slices "
+      << result.utilization.slice_util * 100 << "%, DSP "
+      << result.utilization.dsp_util * 100 << "%, BRAM "
+      << result.utilization.bram_util * 100 << "%\n";
+  if (!result.utilization.routable) {
+    result.status = BuildStatus::kPlaceAndRouteFailed;
+    log << "  ERROR: place and route failed (slice ceiling "
+        << dev.route_ceiling_slice_util * 100 << "%)\n";
+  } else {
+    log << "  timing met at " << dev.clock_hz / 1e6 << " MHz\n";
+  }
+  result.log = log.str();
+  return result;
+}
+
+}  // namespace dwi::minicl

@@ -1,0 +1,61 @@
+// Program objects: the clCreateProgramWithSource / clBuildProgram
+// analogue of the mini-runtime, with the build-flow asymmetry that
+// shapes FPGA development (§II-A):
+//
+//   * fixed architectures JIT the kernel in milliseconds;
+//   * the FPGA "build" is the SDAccel hardware flow — HLS, logic
+//     synthesis, place and route — which takes *hours* and either
+//     meets timing or fails. The build result carries the Table II
+//     style utilization report and the compute-unit (work-item) count
+//     the resource model admits, exactly the information UG1023's
+//     build logs give a designer.
+//
+// The modeled build time matters for experiments like §IV-C's
+// "iteratively increased the number of work-items ... as far as the
+// place-and-route process allowed": that methodology costs a P&R run
+// per step, which this model makes visible.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "fpga/resource_model.h"
+#include "minicl/devices.h"
+#include "minicl/runtime.h"
+
+namespace dwi::minicl {
+
+enum class BuildStatus { kSuccess, kPlaceAndRouteFailed };
+
+struct BuildResult {
+  BuildStatus status = BuildStatus::kSuccess;
+  std::string log;
+  /// Parallel compute units (decoupled work-items) instantiated; for
+  /// fixed platforms this is the device's preferred partition count.
+  unsigned compute_units = 0;
+  /// Modeled wall-clock build time (hours for the FPGA flow, ~ms JIT
+  /// elsewhere) — not simulated time, a planning figure.
+  double build_seconds = 0.0;
+  /// FPGA only: the utilization report of the built design.
+  fpga::UtilizationReport utilization;
+};
+
+/// A kernel program bound to one device and one Table I configuration.
+class Program {
+ public:
+  Program(std::shared_ptr<Device> device, rng::AppConfig config);
+
+  /// Build for the device. `requested_compute_units` = 0 lets the flow
+  /// pick the maximum routable count (the paper's methodology);
+  /// a specific count either routes or fails.
+  BuildResult build(unsigned requested_compute_units = 0) const;
+
+  const rng::AppConfig& config() const { return config_; }
+  Device& device() const { return *device_; }
+
+ private:
+  std::shared_ptr<Device> device_;
+  rng::AppConfig config_;
+};
+
+}  // namespace dwi::minicl

@@ -1,0 +1,68 @@
+#include "minicl/runtime.h"
+
+#include "common/error.h"
+#include "minicl/devices.h"
+
+namespace dwi::minicl {
+
+Event::Status Event::status_at(double t) const {
+  if (t < start_) return Status::kQueued;
+  if (t < end_) return Status::kRunning;
+  return Status::kComplete;
+}
+
+CommandQueue::CommandQueue(Device& device, PcieModel pcie)
+    : device_(&device), pcie_(pcie) {}
+
+EventPtr CommandQueue::enqueue_kernel(const KernelLaunch& launch) {
+  auto event = std::make_shared<Event>();
+  event->queued_ = device_busy_until_;
+  // In-order queue: the kernel starts when the device frees up.
+  event->start_ = device_busy_until_;
+  last_profile_ = device_->execute(launch);
+  event->end_ = event->start_ + last_profile_.kernel_seconds;
+  device_busy_until_ = event->end_;
+  events_.push_back(event);
+  return event;
+}
+
+EventPtr CommandQueue::enqueue_read(std::uint64_t bytes,
+                                    BufferCombining combining,
+                                    unsigned work_items) {
+  DWI_REQUIRE(work_items >= 1, "need at least one work-item slice");
+  auto event = std::make_shared<Event>();
+  event->queued_ = device_busy_until_;
+  event->start_ = device_busy_until_;
+  // §III-E: host-level combining issues one read request per work-item
+  // buffer; device-level combining reads the single shared buffer.
+  const unsigned requests =
+      combining == BufferCombining::kHostLevel ? work_items : 1;
+  event->end_ = event->start_ + pcie_.transfer_seconds(bytes, requests);
+  device_busy_until_ = event->end_;
+  events_.push_back(event);
+  return event;
+}
+
+double CommandQueue::finish() { return device_busy_until_; }
+
+std::vector<std::shared_ptr<Device>> default_devices() {
+  static std::vector<std::shared_ptr<Device>> devices = {
+      std::make_shared<SimtDevice>(simt::cpu_haswell(),
+                                   cpu_base_dynamic_watts()),
+      std::make_shared<SimtDevice>(simt::gpu_tesla_k80(),
+                                   gpu_base_dynamic_watts()),
+      std::make_shared<SimtDevice>(simt::phi_7120p(),
+                                   phi_base_dynamic_watts()),
+      std::make_shared<FpgaDevice>(fpga_base_dynamic_watts()),
+  };
+  return devices;
+}
+
+std::shared_ptr<Device> find_device(const std::string& name_fragment) {
+  for (auto& d : default_devices()) {
+    if (d->name().find(name_fragment) != std::string::npos) return d;
+  }
+  throw Error("no device matching '" + name_fragment + "'");
+}
+
+}  // namespace dwi::minicl

@@ -1,0 +1,128 @@
+// minicl: an OpenCL-shaped host runtime over the simulated devices.
+//
+// The paper's host-side mechanics matter for three experiments:
+//   * Fig 5: localSize/globalSize sweeps through clEnqueueNDRangeKernel;
+//   * §III-E: buffer-combining strategies (N read requests vs one);
+//   * Fig 8: asynchronous repeated kernel enqueue with cl_event
+//     completion tracking, which shapes the power trace and the
+//     energy-integration window.
+//
+// minicl reproduces those mechanics on a *modeled timeline*: enqueue
+// operations are ordered per in-order queue, each operation gets start
+// and end timestamps from the device/PCIe models, and events expose
+// the same queued/running/complete view profiling gives in OpenCL.
+// Nothing here runs in real time — a 150 s Fig 8 protocol simulates in
+// microseconds, and the timeline feeds the power-trace module.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rng/configs.h"
+#include "rng/normal.h"
+
+namespace dwi::minicl {
+
+class Device;
+
+/// The gamma-generation NDRange/Task launch (the only kernel family in
+/// the paper's evaluation; devices interpret the fields they need).
+struct KernelLaunch {
+  rng::AppConfig config = rng::config(rng::ConfigId::kConfig1);
+  /// Transform actually compiled for this device (CUDA- vs FPGA-style
+  /// ICDF on fixed architectures, bit-level on FPGA).
+  rng::NormalTransform transform = rng::NormalTransform::kMarsagliaBray;
+  std::uint64_t total_outputs = 2'621'440ull * 240ull;
+  std::uint64_t global_size = 65'536;   ///< ignored by the FPGA Task
+  unsigned local_size = 0;              ///< 0 = platform optimum
+  float sector_variance = 1.39f;
+};
+
+/// Execution report a device returns for one launch.
+struct LaunchProfile {
+  double kernel_seconds = 0.0;
+  double rejection_rate = 0.0;
+  double efficiency = 1.0;       ///< SIMD efficiency / pipeline activity
+  double bytes_produced = 0.0;
+};
+
+/// Timeline event with OpenCL-profiling-style timestamps (seconds on
+/// the modeled clock).
+class Event {
+ public:
+  enum class Status { kQueued, kRunning, kComplete };
+
+  double queued_at() const { return queued_; }
+  double started_at() const { return start_; }
+  double finished_at() const { return end_; }
+  Status status_at(double t) const;
+  double duration() const { return end_ - start_; }
+
+ private:
+  friend class CommandQueue;
+  double queued_ = 0.0;
+  double start_ = 0.0;
+  double end_ = 0.0;
+};
+
+using EventPtr = std::shared_ptr<Event>;
+
+/// Host↔device interconnect model (PCIe gen3 x8 as on the testbed).
+struct PcieModel {
+  double bandwidth_bytes_per_s = 6.0e9;  ///< effective, not line rate
+  double request_latency_s = 25e-6;      ///< per read/write request
+
+  double transfer_seconds(std::uint64_t bytes, unsigned requests = 1) const {
+    return static_cast<double>(requests) * request_latency_s +
+           static_cast<double>(bytes) / bandwidth_bytes_per_s;
+  }
+};
+
+/// §III-E: how the host gathers the N work-item result slices.
+enum class BufferCombining {
+  kHostLevel,    ///< N device buffers, N read requests into one host buffer
+  kDeviceLevel,  ///< one device buffer, single read request (the paper's choice)
+};
+
+/// An in-order command queue on one device, with a modeled timeline.
+class CommandQueue {
+ public:
+  explicit CommandQueue(Device& device, PcieModel pcie = {});
+
+  /// clEnqueueNDRangeKernel / clEnqueueTask analogue.
+  EventPtr enqueue_kernel(const KernelLaunch& launch);
+
+  /// clEnqueueReadBuffer analogue; `work_items` and `combining` model
+  /// the §III-E strategies (request count).
+  EventPtr enqueue_read(std::uint64_t bytes,
+                        BufferCombining combining = BufferCombining::kDeviceLevel,
+                        unsigned work_items = 1);
+
+  /// Block until everything enqueued so far is complete; returns the
+  /// completion time on the modeled clock.
+  double finish();
+
+  /// Current modeled time (end of the last enqueued operation).
+  double now() const { return device_busy_until_; }
+
+  Device& device() { return *device_; }
+  const std::vector<EventPtr>& events() const { return events_; }
+  const LaunchProfile& last_profile() const { return last_profile_; }
+
+ private:
+  Device* device_;
+  PcieModel pcie_;
+  double device_busy_until_ = 0.0;
+  std::vector<EventPtr> events_;
+  LaunchProfile last_profile_;
+};
+
+/// Platform discovery: the four host+accelerator combinations of §IV-A.
+std::vector<std::shared_ptr<Device>> default_devices();
+
+/// Find a device by name fragment ("CPU", "GPU", "PHI", "FPGA").
+std::shared_ptr<Device> find_device(const std::string& name_fragment);
+
+}  // namespace dwi::minicl

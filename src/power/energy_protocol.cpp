@@ -1,0 +1,63 @@
+#include "power/energy_protocol.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace dwi::power {
+
+ProtocolResult run_energy_protocol(minicl::Device& device,
+                                   const minicl::KernelLaunch& launch,
+                                   const ProtocolConfig& cfg) {
+  minicl::CommandQueue queue(device);
+
+  // First execution gives the kernel time; the host then keeps
+  // enqueuing asynchronously (cl_events track completion) until the
+  // device-busy timeline passes the minimum duration.
+  ProtocolResult result;
+  queue.enqueue_kernel(launch);
+  result.kernel_seconds = queue.last_profile().kernel_seconds;
+  DWI_REQUIRE(result.kernel_seconds > 0.0, "kernel reported zero time");
+  result.device_dynamic_watts =
+      device.dynamic_power_watts(queue.last_profile().efficiency);
+  result.invocations = 1;
+
+  while (queue.now() < cfg.min_total_seconds) {
+    queue.enqueue_kernel(launch);
+    ++result.invocations;
+  }
+
+  // Build the activity timeline from the queue's events. Back-to-back
+  // kernels form one continuous busy interval per event; the trace
+  // model handles adjacency naturally.
+  std::vector<ActivityInterval> activity;
+  activity.reserve(queue.events().size());
+  for (const auto& e : queue.events()) {
+    activity.push_back(ActivityInterval{e->started_at(), e->finished_at(),
+                                        result.device_dynamic_watts});
+  }
+
+  const double total = queue.finish() + cfg.idle_tail_seconds;
+  result.trace = simulate_trace(cfg.system, activity, total);
+
+  // Fig 8's last two markers: the integration window is the final
+  // `window_seconds` ending at the last kernel completion.
+  const double t_end = queue.finish();
+  result.trace.markers_s.push_back(t_end - cfg.window_seconds);
+  result.trace.markers_s.push_back(t_end);
+
+  // Integrate over that window.
+  PowerTrace window_trace = result.trace;
+  // derive_dynamic_energy integrates the *final* window of the trace;
+  // truncate the idle tail so the window ends at the last marker.
+  const auto tail_samples = static_cast<std::size_t>(
+      std::round(cfg.idle_tail_seconds / result.trace.sample_period_s));
+  DWI_ASSERT(window_trace.samples_watts.size() > tail_samples);
+  window_trace.samples_watts.resize(window_trace.samples_watts.size() -
+                                    tail_samples);
+  result.energy = derive_dynamic_energy(cfg.system, window_trace, activity,
+                                        cfg.window_seconds);
+  return result;
+}
+
+}  // namespace dwi::power

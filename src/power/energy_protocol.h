@@ -1,0 +1,37 @@
+// The full §IV-F measurement protocol, end to end: enqueue the gamma
+// kernel repeatedly on one device until the run exceeds the minimum
+// duration (the paper uses > 150 s), synthesize the wall-plug trace,
+// and derive the system-level dynamic energy per kernel invocation
+// from the final 100 s window — the quantity plotted in Fig 9.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "minicl/devices.h"
+#include "minicl/runtime.h"
+#include "power/trace.h"
+
+namespace dwi::power {
+
+struct ProtocolConfig {
+  double min_total_seconds = 150.0;  ///< enqueue until past this point
+  double window_seconds = 100.0;     ///< integration window (last two markers)
+  double idle_tail_seconds = 5.0;    ///< trace padding after the last kernel
+  SystemPowerConfig system{};
+};
+
+struct ProtocolResult {
+  PowerTrace trace;
+  DynamicEnergyResult energy;
+  double kernel_seconds = 0.0;       ///< single-invocation kernel time
+  unsigned invocations = 0;          ///< total kernels enqueued
+  double device_dynamic_watts = 0.0;
+};
+
+/// Run the protocol for `launch` on `device`.
+ProtocolResult run_energy_protocol(minicl::Device& device,
+                                   const minicl::KernelLaunch& launch,
+                                   const ProtocolConfig& cfg = {});
+
+}  // namespace dwi::power

@@ -1,0 +1,119 @@
+#include "power/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace dwi::power {
+
+namespace {
+
+/// Instantaneous accelerator dynamic power at time t.
+double dynamic_at(const std::vector<ActivityInterval>& activity, double t) {
+  for (const auto& a : activity) {
+    if (t >= a.start_s && t < a.end_s) return a.dynamic_watts;
+  }
+  return 0.0;
+}
+
+/// Deterministic sub-watt "measurement jitter" (reproducible runs).
+double jitter(std::uint64_t sample, double amplitude) {
+  std::uint64_t z = sample * 0x9e3779b97f4a7c15ull + 0x2545f4914f6cdd1dull;
+  z ^= z >> 29;
+  z *= 0xbf58476d1ce4e5b9ull;
+  z ^= z >> 32;
+  const double u =
+      static_cast<double>(z & 0xffffffu) / static_cast<double>(0xffffffu);
+  return (u - 0.5) * 2.0 * amplitude;
+}
+
+}  // namespace
+
+PowerTrace simulate_trace(const SystemPowerConfig& cfg,
+                          const std::vector<ActivityInterval>& activity,
+                          double total_seconds) {
+  DWI_REQUIRE(total_seconds > 0.0, "trace must span positive time");
+  DWI_REQUIRE(cfg.sample_period_s > 0.0, "sample period must be positive");
+
+  PowerTrace trace;
+  trace.sample_period_s = cfg.sample_period_s;
+  const auto n_samples = static_cast<std::uint64_t>(
+      std::ceil(total_seconds / cfg.sample_period_s));
+  trace.samples_watts.reserve(n_samples);
+
+  double first_activity = total_seconds;
+  double last_activity = 0.0;
+  for (const auto& a : activity) {
+    first_activity = std::min(first_activity, a.start_s);
+    last_activity = std::max(last_activity, a.end_s);
+  }
+
+  // Cooling state integrates between samples with a first-order lag
+  // toward its target (fan controller in `optimal` mode).
+  double cooling = 0.0;
+  for (std::uint64_t i = 0; i < n_samples; ++i) {
+    const double t = static_cast<double>(i) * cfg.sample_period_s;
+    const double dyn = dynamic_at(activity, t);
+    const double cooling_target = cfg.cooling_gain * dyn;
+    const double alpha = 1.0 - std::exp(-cfg.sample_period_s / cfg.cooling_tau_s);
+    cooling += alpha * (cooling_target - cooling);
+
+    double host = 0.0;
+    if (t >= first_activity &&
+        t < first_activity + cfg.host_enqueue_seconds) {
+      host = cfg.host_enqueue_watts;  // the Fig 8 spike at marker 0
+    }
+
+    trace.samples_watts.push_back(cfg.idle_watts + dyn + cooling + host +
+                                  jitter(i, cfg.noise_watts));
+  }
+
+  trace.markers_s = {first_activity};
+  return trace;
+}
+
+dwi::Joules integrate_energy(const PowerTrace& trace, double t0, double t1) {
+  DWI_REQUIRE(t1 > t0, "empty integration window");
+  DWI_REQUIRE(t1 <= trace.duration_s() + 1e-9,
+              "window exceeds the trace");
+  double joules = 0.0;
+  const double dt = trace.sample_period_s;
+  for (std::size_t i = 0; i < trace.samples_watts.size(); ++i) {
+    const double s0 = static_cast<double>(i) * dt;
+    const double s1 = s0 + dt;
+    const double lo = std::max(s0, t0);
+    const double hi = std::min(s1, t1);
+    if (hi > lo) joules += trace.samples_watts[i] * (hi - lo);
+  }
+  return dwi::Joules{joules};
+}
+
+DynamicEnergyResult derive_dynamic_energy(
+    const SystemPowerConfig& cfg, const PowerTrace& trace,
+    const std::vector<ActivityInterval>& activity, double window_s) {
+  const double t1 = trace.duration_s();
+  const double t0 = t1 - window_s;
+  DWI_REQUIRE(t0 >= 0.0, "window longer than the trace");
+
+  DynamicEnergyResult r;
+  r.total = integrate_energy(trace, t0, t1);
+  r.dynamic = r.total - dwi::Joules{cfg.idle_watts * window_s};
+
+  // Fractional repetitions inside the window (§IV-F: "the number of
+  // repetitions is no longer an integer value").
+  double inv = 0.0;
+  for (const auto& a : activity) {
+    const double lo = std::max(a.start_s, t0);
+    const double hi = std::min(a.end_s, t1);
+    if (hi > lo && a.end_s > a.start_s) {
+      inv += (hi - lo) / (a.end_s - a.start_s);
+    }
+  }
+  r.invocations_in_window = inv;
+  DWI_REQUIRE(inv > 0.0, "no kernel activity inside the window");
+  r.per_invocation = dwi::Joules{r.dynamic.value / inv};
+  return r;
+}
+
+}  // namespace dwi::power

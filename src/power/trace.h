@@ -1,0 +1,76 @@
+// System-level power-trace model reproducing the paper's measurement
+// setup (§IV-F): a Voltcraft VC870 multimeter at the wall plug, one
+// sample per second, watching a workstation whose idle floor is
+// ~204 W. The host enqueues the kernel repeatedly (asynchronously, so
+// the host itself goes quiet after the initial burst), and the cooling
+// system in `optimal` mode ramps with the thermal load — both visible
+// in Fig 8's trace.
+//
+// The trace is synthesized from the minicl event timeline: during a
+// kernel event the accelerator adds its (efficiency-gated) dynamic
+// power; cooling follows with a first-order lag; the enqueue burst
+// adds host power for its duration. Markers mirror the paper's plot:
+// marker 0 at the first enqueue, and two markers delimiting the final
+// 100 s integration window.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+
+namespace dwi::power {
+
+struct SystemPowerConfig {
+  double idle_watts = 204.0;       ///< measured idle floor (Fig 8)
+  double sample_period_s = 1.0;    ///< VC870: one sample per second
+  double host_enqueue_watts = 22.0;  ///< host burst while enqueuing
+  double host_enqueue_seconds = 2.0;
+  double cooling_gain = 0.12;      ///< cooling watts per dynamic watt
+  double cooling_tau_s = 9.0;      ///< fan ramp time constant
+  double noise_watts = 0.8;        ///< multimeter jitter amplitude
+};
+
+/// One accelerator-busy interval on the modeled timeline.
+struct ActivityInterval {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  double dynamic_watts = 0.0;
+};
+
+struct PowerTrace {
+  std::vector<double> samples_watts;  ///< one per sample period
+  double sample_period_s = 1.0;
+  std::vector<double> markers_s;      ///< plot markers (Fig 8)
+
+  double duration_s() const {
+    return static_cast<double>(samples_watts.size()) * sample_period_s;
+  }
+};
+
+/// Synthesize the wall-plug trace for a set of kernel intervals.
+/// `total_seconds` extends the trace past the last activity (idle
+/// tail, as in Fig 8).
+PowerTrace simulate_trace(const SystemPowerConfig& cfg,
+                          const std::vector<ActivityInterval>& activity,
+                          double total_seconds);
+
+/// Rectangle-integrate the samples over [t0, t1] (the multimeter gives
+/// no better than its sampling period).
+dwi::Joules integrate_energy(const PowerTrace& trace, double t0, double t1);
+
+/// The paper's §IV-F derivation: integrate the final `window_s`,
+/// subtract the idle energy, divide by the (fractional) number of
+/// kernel repetitions inside the window.
+struct DynamicEnergyResult {
+  dwi::Joules total;               ///< window energy
+  dwi::Joules dynamic;             ///< after idle subtraction
+  double invocations_in_window = 0.0;
+  dwi::Joules per_invocation;
+};
+
+DynamicEnergyResult derive_dynamic_energy(
+    const SystemPowerConfig& cfg, const PowerTrace& trace,
+    const std::vector<ActivityInterval>& activity, double window_s);
+
+}  // namespace dwi::power

@@ -1,0 +1,32 @@
+#include "rng/configs.h"
+
+#include "common/error.h"
+
+namespace dwi::rng {
+
+const std::array<AppConfig, 4>& all_configs() {
+  static const std::array<AppConfig, 4> configs = {
+      AppConfig{ConfigId::kConfig1, "Config1", true,
+                NormalTransform::kMarsagliaBray,
+                NormalTransform::kMarsagliaBray, mt19937_params()},
+      AppConfig{ConfigId::kConfig2, "Config2", true,
+                NormalTransform::kMarsagliaBray,
+                NormalTransform::kMarsagliaBray, mt521_params()},
+      AppConfig{ConfigId::kConfig3, "Config3", false,
+                NormalTransform::kIcdfBitwise, NormalTransform::kIcdfCuda,
+                mt19937_params()},
+      AppConfig{ConfigId::kConfig4, "Config4", false,
+                NormalTransform::kIcdfBitwise, NormalTransform::kIcdfCuda,
+                mt521_params()},
+  };
+  return configs;
+}
+
+const AppConfig& config(ConfigId id) {
+  for (const auto& c : all_configs()) {
+    if (c.id == id) return c;
+  }
+  throw Error("unknown configuration id");
+}
+
+}  // namespace dwi::rng

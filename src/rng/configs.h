@@ -1,0 +1,56 @@
+// The four application configurations of Table I, shared by every
+// engine (FPGA simulator, SIMT model, mini-OpenCL runtime, benches).
+//
+//   Config1: Marsaglia-Bray + MT(19937)   (624 state words / twister)
+//   Config2: Marsaglia-Bray + MT(521)     (17 state words / twister)
+//   Config3: ICDF          + MT(19937)
+//   Config4: ICDF          + MT(521)
+//
+// For the ICDF configurations the *functional* transform differs by
+// platform (§II-D3): the FPGA uses the bit-level segmented version,
+// the fixed architectures use the CUDA-style erfinv version (the
+// FPGA-style one is also runnable there — Table III's "ICDF FPGA-style"
+// rows — just slow). Marsaglia-Bray is identical everywhere.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "rng/mersenne_twister.h"
+#include "rng/normal.h"
+
+namespace dwi::rng {
+
+enum class ConfigId : unsigned { kConfig1 = 1, kConfig2, kConfig3, kConfig4 };
+
+struct AppConfig {
+  ConfigId id;
+  const char* name;
+  /// Transform family of Table I (MB for 1/2, ICDF for 3/4).
+  bool uses_marsaglia_bray;
+  /// Concrete transform on the FPGA.
+  NormalTransform fpga_transform;
+  /// Concrete transform on CPU/GPU/PHI ("CUDA-style" by default, per
+  /// §IV-B; Table III also reports the FPGA-style variant there).
+  NormalTransform fixed_arch_transform;
+  MtParams mt;
+
+  /// Twisters per work-item: MB needs two parallel input sequences
+  /// ([18]) plus rejection and correction uniforms; ICDF needs one
+  /// input sequence plus the same two.
+  unsigned num_twisters() const { return uses_marsaglia_bray ? 4u : 3u; }
+
+  /// Private PRNG state bytes per work-item (drives spill/occupancy
+  /// modelling on fixed architectures and BRAM on the FPGA).
+  std::uint64_t state_bytes_per_work_item() const {
+    return static_cast<std::uint64_t>(num_twisters()) * mt.n * 4u;
+  }
+};
+
+/// The Table I configuration set, in order Config1..Config4.
+const std::array<AppConfig, 4>& all_configs();
+
+/// Lookup by id.
+const AppConfig& config(ConfigId id);
+
+}  // namespace dwi::rng

@@ -1,0 +1,87 @@
+// Dynamic creation of Mersenne-Twister parameters (Matsumoto &
+// Nishimura's DCMT [18]) — the tool the paper used to obtain its
+// MT(521) generator, reimplemented from first principles.
+//
+// Core fact: an MT with geometry (w=32, n, r) acts linearly on a state
+// space of dimension p = n·w − r over GF(2). When p is a *Mersenne
+// prime exponent* (2^p − 1 prime — 521 is one), the generator has full
+// period 2^p − 1 iff its transition matrix T satisfies
+//
+//     T invertible,  T ≠ I,  and  T^(2^p) = T,
+//
+// because then ord(T) divides the prime 2^p − 1 and is not 1. The
+// T^(2^p) check needs only p matrix squarings — feasible in seconds
+// for p = 521 with bit-sliced GF(2) arithmetic. This module provides:
+//
+//   * Gf2Matrix: dense bit-matrix over GF(2) (multiply, square, rank);
+//   * mt_transition_matrix(): T built by pushing basis states through
+//     the real untempered MT recurrence;
+//   * verify_full_period(): the three-condition proof above;
+//   * find_full_period_twist(): the DCMT search — scan twist
+//     coefficients `a` until one passes, exactly how the paper's
+//     MT(521) parameters were created.
+//
+// The shipped mt521_params() constant was found and verified with this
+// machinery (see tests/test_dcmt.cpp, which re-verifies it).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "rng/mersenne_twister.h"
+
+namespace dwi::rng {
+
+/// Dense square bit matrix over GF(2), rows stored as 64-bit limbs.
+class Gf2Matrix {
+ public:
+  explicit Gf2Matrix(unsigned dim);
+
+  static Gf2Matrix identity(unsigned dim);
+
+  unsigned dim() const { return dim_; }
+  bool get(unsigned row, unsigned col) const;
+  void set(unsigned row, unsigned col, bool v);
+
+  /// Matrix product over GF(2) (row-major XOR accumulation).
+  Gf2Matrix operator*(const Gf2Matrix& o) const;
+  Gf2Matrix square() const { return *this * *this; }
+
+  bool operator==(const Gf2Matrix& o) const;
+
+  /// Rank via Gaussian elimination (destructive on a copy).
+  unsigned rank() const;
+  bool invertible() const { return rank() == dim_; }
+
+  /// Matrix-vector product: y = T·x with x, y as limb vectors.
+  std::vector<std::uint64_t> apply(
+      const std::vector<std::uint64_t>& x) const;
+
+ private:
+  unsigned dim_;
+  unsigned words_per_row_;
+  std::vector<std::uint64_t> bits_;  ///< dim_ rows × words_per_row_
+};
+
+/// Build the 521-dimensional (or general n·32−r) transition matrix of
+/// the *untempered* MT recurrence for `params` (tempering is a
+/// bijection on outputs and does not affect the period).
+Gf2Matrix mt_transition_matrix(const MtParams& params);
+
+/// Mersenne-prime exponents up to the sizes this library handles.
+bool is_known_mersenne_prime_exponent(unsigned p);
+
+/// Prove (or refute) full period 2^(n·32−r) − 1 for `params`.
+/// Requires the period exponent to be a known Mersenne prime exponent
+/// and small enough to verify (≤ ~1300) in reasonable time.
+bool verify_full_period(const MtParams& params);
+
+/// DCMT search: starting from `params`, scan odd twist coefficients
+/// a = start, start+2, ... (wrapping) until verify_full_period holds;
+/// returns the passing parameter set, or nullopt after `max_tries`.
+std::optional<MtParams> find_full_period_twist(MtParams params,
+                                               std::uint32_t start_a,
+                                               unsigned max_tries = 256);
+
+}  // namespace dwi::rng

@@ -1,0 +1,53 @@
+#include "rng/erfinv.h"
+
+#include <cmath>
+
+#include "common/bits.h"
+
+namespace dwi::rng {
+
+float erfinv_giles(float x) {
+  // Giles' single-precision approximation: w = -log(1 - x^2); a degree-8
+  // polynomial in w (central, w < 5) or in sqrt(w) - 3 (tail), times x.
+  float w = -std::log((1.0f - x) * (1.0f + x));
+  float p;
+  if (w < 5.0f) {
+    w = w - 2.5f;
+    p = 2.81022636e-08f;
+    p = 3.43273939e-07f + p * w;
+    p = -3.5233877e-06f + p * w;
+    p = -4.39150654e-06f + p * w;
+    p = 0.00021858087f + p * w;
+    p = -0.00125372503f + p * w;
+    p = -0.00417768164f + p * w;
+    p = 0.246640727f + p * w;
+    p = 1.50140941f + p * w;
+  } else {
+    w = std::sqrt(w) - 3.0f;
+    p = -0.000200214257f;
+    p = 0.000100950558f + p * w;
+    p = 0.00134934322f + p * w;
+    p = -0.00367342844f + p * w;
+    p = 0.00573950773f + p * w;
+    p = -0.0076224613f + p * w;
+    p = 0.00943887047f + p * w;
+    p = 1.00167406f + p * w;
+    p = 2.83297682f + p * w;
+  }
+  return p * x;
+}
+
+float erfcinv_giles(float x) { return erfinv_giles(1.0f - x); }
+
+float normal_icdf_cuda_from_uniform(float u) {
+  return 1.41421356237309505f * erfinv_giles(2.0f * u - 1.0f);
+}
+
+float normal_icdf_cuda(std::uint32_t u) {
+  // Map to the open interval (0,1): never exactly 0 or 1, so erfinv's
+  // argument stays inside (-1, 1).
+  const float uf = (static_cast<float>(u) + 0.5f) * 0x1.0p-32f;
+  return normal_icdf_cuda_from_uniform(uf);
+}
+
+}  // namespace dwi::rng

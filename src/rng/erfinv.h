@@ -1,0 +1,32 @@
+// Single-precision inverse error function after M. Giles, "Approximating
+// the erfinv Function", GPU Computing Gems Jade ed., ch. 10 [20] — the
+// branch-minimizing polynomial approximation the paper substitutes for
+// CUDA's erfcinv inside its "CUDA-style" ICDF (§II-D3), using the
+// identity erfcinv(x) = erfinv(1 - x).
+//
+// The function has exactly one data-dependent branch (central region vs
+// tail), taken with probability ~1 - 6.8e-6 on uniform inputs, which is
+// why it behaves so well on fixed-SIMD architectures compared to the
+// bit-level segmented ICDF.
+#pragma once
+
+#include <cstdint>
+
+namespace dwi::rng {
+
+/// erfinv(x) for x in (-1, 1), single precision (Giles' 9-term
+/// polynomials; max relative error ~ 4 ulp in the central region).
+float erfinv_giles(float x);
+
+/// erfcinv(x) for x in (0, 2) via erfcinv(x) = erfinv(1 - x).
+float erfcinv_giles(float x);
+
+/// "CUDA-style" standard normal ICDF transform (modified
+/// __curand_normal_icdf): maps a 32-bit uniform integer to a normal
+/// variate via Φ^{-1}(u) = sqrt(2) · erfinv(2u − 1). Never rejects.
+float normal_icdf_cuda(std::uint32_t u);
+
+/// The same transform applied to a float u in (0, 1).
+float normal_icdf_cuda_from_uniform(float u);
+
+}  // namespace dwi::rng

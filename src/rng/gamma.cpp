@@ -1,0 +1,126 @@
+#include "rng/gamma.h"
+
+#include <cmath>
+#include <limits>
+#include <random>
+
+#include "common/bits.h"
+#include "common/error.h"
+
+namespace dwi::rng {
+
+GammaConstants GammaConstants::make(float alpha, float scale) {
+  DWI_REQUIRE(alpha > 0.0f, "gamma shape must be positive");
+  DWI_REQUIRE(scale > 0.0f, "gamma scale must be positive");
+  GammaConstants k;
+  k.alpha = alpha;
+  k.scale = scale;
+  k.boosted = alpha < 1.0f;
+  const float alpha_eff = k.boosted ? alpha + 1.0f : alpha;
+  k.d = alpha_eff - 1.0f / 3.0f;
+  k.c = 1.0f / std::sqrt(9.0f * k.d);
+  k.inv_alpha = 1.0f / alpha;
+  return k;
+}
+
+GammaConstants GammaConstants::from_sector_variance(float v) {
+  DWI_REQUIRE(v > 0.0f, "sector variance must be positive");
+  return make(1.0f / v, v);
+}
+
+GammaAttempt gamma_attempt(float n0, float u1, const GammaConstants& k) {
+  const float t = 1.0f + k.c * n0;
+  if (t <= 0.0f) return GammaAttempt{0.0f, false};
+  const float v = t * t * t;
+  const float x2 = n0 * n0;
+  // Squeeze test first (cheap), then the exact log test.
+  const bool squeeze = u1 < 1.0f - 0.0331f * x2 * x2;
+  const bool exact =
+      squeeze ||
+      std::log(u1) < 0.5f * x2 + k.d * (1.0f - v + std::log(v));
+  if (!exact) return GammaAttempt{0.0f, false};
+  return GammaAttempt{k.d * v * k.scale, true};
+}
+
+float gamma_correct(float g, float u2, const GammaConstants& k) {
+  return g * std::pow(u2, k.inv_alpha);
+}
+
+GammaSampler::GammaSampler(GammaConstants constants, NormalTransform transform)
+    : k_(constants), transform_(transform) {}
+
+float GammaSampler::sample(const std::function<std::uint32_t()>& next_u32) {
+  for (;;) {
+    ++attempts_;
+    // Normal stage. Transforms consuming two uniforms pull both; the
+    // scalar sampler has no need for the enable-flag machinery because
+    // it simply does not call the source when a stage is skipped — the
+    // pipelined kernels achieve the same effect with AdaptedMersenneTwister.
+    const std::uint32_t ua = next_u32();
+    const std::uint32_t ub =
+        uniforms_per_attempt(transform_) == 2 ? next_u32() : 0;
+    const NormalAttempt n = normal_attempt(transform_, ua, ub);
+    if (!n.valid) continue;
+
+    // Rejection stage.
+    const float u1 = uint2float_open0(next_u32());
+    const GammaAttempt g = gamma_attempt(n.value, u1, k_);
+    if (!g.valid) continue;
+
+    ++accepted_;
+    if (!k_.boosted) return g.value;
+
+    // Correction stage (α < 1).
+    const float u2 = uint2float_open0(next_u32());
+    return gamma_correct(g.value, u2, k_);
+  }
+}
+
+double GammaSampler::rejection_rate() const {
+  if (attempts_ == 0) return 0.0;
+  return 1.0 - static_cast<double>(accepted_) / static_cast<double>(attempts_);
+}
+
+struct GammaReference::Impl {
+  std::mt19937_64 engine;
+  std::normal_distribution<double> normal{0.0, 1.0};
+  std::uniform_real_distribution<double> uniform{0.0, 1.0};
+};
+
+GammaReference::GammaReference(double shape, double scale, std::uint64_t seed)
+    : shape_(shape), scale_(scale), impl_(std::make_unique<Impl>()) {
+  DWI_REQUIRE(shape > 0.0 && scale > 0.0,
+              "gamma reference: positive shape and scale required");
+  impl_->engine.seed(seed);
+}
+
+GammaReference::~GammaReference() = default;
+
+double GammaReference::sample() {
+  // Marsaglia-Tsang in double precision, independent uniform source.
+  const bool boosted = shape_ < 1.0;
+  const double alpha_eff = boosted ? shape_ + 1.0 : shape_;
+  const double d = alpha_eff - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    const double x = impl_->normal(impl_->engine);
+    const double t = 1.0 + c * x;
+    if (t <= 0.0) continue;
+    const double v = t * t * t;
+    double u = impl_->uniform(impl_->engine);
+    if (u <= 0.0) u = std::numeric_limits<double>::min();
+    const double x2 = x * x;
+    if (u < 1.0 - 0.0331 * x2 * x2 ||
+        std::log(u) < 0.5 * x2 + d * (1.0 - v + std::log(v))) {
+      double g = d * v * scale_;
+      if (boosted) {
+        double u2 = impl_->uniform(impl_->engine);
+        if (u2 <= 0.0) u2 = std::numeric_limits<double>::min();
+        g *= std::pow(u2, 1.0 / shape_);
+      }
+      return g;
+    }
+  }
+}
+
+}  // namespace dwi::rng

@@ -1,0 +1,109 @@
+#include "rng/jump.h"
+
+#include "common/error.h"
+#include "rng/dcmt.h"
+
+namespace dwi::rng {
+
+namespace {
+
+/// Pack a raw state into the p-dimensional GF(2) vector used by the
+/// transition matrix (same layout as dcmt.cpp's basis: the upper
+/// 32−r bits of word 0 first, then words 1..n−1 in full).
+std::vector<std::uint64_t> pack_state(const MtParams& p,
+                                      const std::vector<std::uint32_t>& x) {
+  const unsigned dim = p.period_exponent();
+  const unsigned top_bits = 32 - p.r;
+  std::vector<std::uint64_t> v((dim + 63) / 64, 0);
+  auto set = [&](unsigned bit) {
+    v[bit / 64] |= std::uint64_t{1} << (bit % 64);
+  };
+  for (unsigned b = 0; b < top_bits; ++b) {
+    if ((x[0] >> (p.r + b)) & 1u) set(b);
+  }
+  unsigned bit = top_bits;
+  for (unsigned w = 1; w < p.n; ++w) {
+    for (unsigned b = 0; b < 32; ++b, ++bit) {
+      if ((x[w] >> b) & 1u) set(bit);
+    }
+  }
+  return v;
+}
+
+std::vector<std::uint32_t> unpack_state(const MtParams& p,
+                                        const std::vector<std::uint64_t>& v) {
+  const unsigned top_bits = 32 - p.r;
+  std::vector<std::uint32_t> x(p.n, 0);
+  auto get = [&](unsigned bit) {
+    return (v[bit / 64] >> (bit % 64)) & 1u;
+  };
+  for (unsigned b = 0; b < top_bits; ++b) {
+    if (get(b)) x[0] |= std::uint32_t{1} << (p.r + b);
+  }
+  unsigned bit = top_bits;
+  for (unsigned w = 1; w < p.n; ++w) {
+    for (unsigned b = 0; b < 32; ++b, ++bit) {
+      if (get(bit)) x[w] |= std::uint32_t{1} << b;
+    }
+  }
+  return x;
+}
+
+/// v ← T^k · v with square-and-apply (shares the squaring chain).
+std::vector<std::uint64_t> apply_power(const Gf2Matrix& t, std::uint64_t k,
+                                       std::vector<std::uint64_t> v) {
+  Gf2Matrix power = t;
+  while (k != 0) {
+    if (k & 1u) v = power.apply(v);
+    k >>= 1;
+    if (k != 0) power = power.square();
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> initial_raw_state(const MtParams& params,
+                                             std::uint32_t seed) {
+  std::vector<std::uint32_t> state(params.n);
+  state[0] = seed;
+  for (unsigned i = 1; i < params.n; ++i) {
+    state[i] = params.f * (state[i - 1] ^ (state[i - 1] >> 30)) + i;
+  }
+  return state;
+}
+
+MersenneTwister make_jumped(const MtParams& params, std::uint32_t seed,
+                            std::uint64_t skip) {
+  DWI_REQUIRE(params.period_exponent() <= 1300,
+              "dense jump-ahead supports p <= 1300 (use the small DCMT "
+              "geometries; MT19937's matrix is impractical here)");
+  if (skip == 0) return MersenneTwister(params, seed);
+  const Gf2Matrix t = mt_transition_matrix(params);
+  auto v = pack_state(params, initial_raw_state(params, seed));
+  v = apply_power(t, skip, std::move(v));
+  return MersenneTwister(params, unpack_state(params, v));
+}
+
+std::vector<MersenneTwister> make_parallel_streams(const MtParams& params,
+                                                   std::uint32_t seed,
+                                                   unsigned count,
+                                                   std::uint64_t stride) {
+  DWI_REQUIRE(count >= 1, "need at least one stream");
+  DWI_REQUIRE(stride >= 1, "stride must be positive");
+  DWI_REQUIRE(params.period_exponent() <= 1300,
+              "dense jump-ahead supports p <= 1300");
+
+  const Gf2Matrix t = mt_transition_matrix(params);
+  std::vector<MersenneTwister> streams;
+  streams.reserve(count);
+  auto v = pack_state(params, initial_raw_state(params, seed));
+  streams.emplace_back(params, unpack_state(params, v));
+  for (unsigned w = 1; w < count; ++w) {
+    v = apply_power(t, stride, std::move(v));
+    streams.emplace_back(params, unpack_state(params, v));
+  }
+  return streams;
+}
+
+}  // namespace dwi::rng

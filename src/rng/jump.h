@@ -1,0 +1,44 @@
+// Jump-ahead for the Mersenne-Twister family: compute the generator
+// state k steps into the future in O(p² log k) bit operations instead
+// of k sequential steps, using the GF(2) transition matrix from
+// rng/dcmt.h.
+//
+// Why it matters here: the paper instantiates 3–4 twisters per
+// work-item across 6–8 work-items and must guarantee the streams do
+// not overlap. Distinct seeds make overlap only improbable; jump-ahead
+// makes it impossible — each work-item receives the same master
+// sequence offset by a fixed stride (a standard production technique
+// for parallel Monte-Carlo). Supported for the small DCMT geometries
+// (p ≤ ~1300); MT(19937)'s matrix is too large for this dense
+// implementation, which is one more practical reason the paper's
+// MT(521) configurations are attractive.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/mersenne_twister.h"
+
+namespace dwi::rng {
+
+/// The raw n-word state the standard Knuth initializer produces for
+/// `seed` (what a fresh MersenneTwister holds before its first twist).
+std::vector<std::uint32_t> initial_raw_state(const MtParams& params,
+                                             std::uint32_t seed);
+
+/// Build a generator whose output sequence equals a fresh
+/// MersenneTwister(params, seed) with the first `skip` outputs
+/// discarded. Cost: one transition-matrix build plus ~log2(skip)
+/// matrix squarings.
+MersenneTwister make_jumped(const MtParams& params, std::uint32_t seed,
+                            std::uint64_t skip);
+
+/// Partition one master sequence into `count` non-overlapping streams
+/// of `stride` outputs each (work-item w gets outputs
+/// [w·stride, (w+1)·stride)). Streams share one matrix build.
+std::vector<MersenneTwister> make_parallel_streams(const MtParams& params,
+                                                   std::uint32_t seed,
+                                                   unsigned count,
+                                                   std::uint64_t stride);
+
+}  // namespace dwi::rng

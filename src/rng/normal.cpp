@@ -1,0 +1,79 @@
+#include "rng/normal.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/bits.h"
+#include "common/error.h"
+#include "rng/erfinv.h"
+#include "rng/icdf_bitwise.h"
+
+namespace dwi::rng {
+
+const char* to_string(NormalTransform t) {
+  switch (t) {
+    case NormalTransform::kMarsagliaBray: return "Marsaglia-Bray";
+    case NormalTransform::kIcdfBitwise: return "ICDF (FPGA-style)";
+    case NormalTransform::kIcdfCuda: return "ICDF (CUDA-style)";
+    case NormalTransform::kBoxMuller: return "Box-Muller";
+  }
+  return "?";
+}
+
+unsigned uniforms_per_attempt(NormalTransform t) {
+  switch (t) {
+    case NormalTransform::kMarsagliaBray: return 2;
+    case NormalTransform::kIcdfBitwise: return 1;
+    case NormalTransform::kIcdfCuda: return 1;
+    case NormalTransform::kBoxMuller: return 2;
+  }
+  return 1;
+}
+
+NormalAttempt marsaglia_bray_attempt(std::uint32_t u1, std::uint32_t u2) {
+  // Map each uniform to (-1, 1); the open-interval mapping keeps s > 0.
+  const float v1 = 2.0f * uint2float_open0(u1) - 1.0f;
+  const float v2 = 2.0f * uint2float_open0(u2) - 1.0f;
+  const float s = v1 * v1 + v2 * v2;
+  if (s >= 1.0f || s == 0.0f) return NormalAttempt{0.0f, false};
+  const float f = std::sqrt(-2.0f * std::log(s) / s);
+  return NormalAttempt{v1 * f, true};
+}
+
+float box_muller(std::uint32_t u1, std::uint32_t u2, float* second) {
+  const float a = uint2float_open0(u1);  // (0, 1], safe for log
+  const float b = uint2float(u2);        // [0, 1)
+  const float r = std::sqrt(-2.0f * std::log(a));
+  const float theta = 2.0f * std::numbers::pi_v<float> * b;
+  if (second != nullptr) *second = r * std::sin(theta);
+  return r * std::cos(theta);
+}
+
+NormalAttempt normal_attempt(NormalTransform t, std::uint32_t u1,
+                             std::uint32_t u2) {
+  switch (t) {
+    case NormalTransform::kMarsagliaBray:
+      return marsaglia_bray_attempt(u1, u2);
+    case NormalTransform::kIcdfBitwise: {
+      const IcdfResult r = normal_icdf_bitwise(u1);
+      return NormalAttempt{r.value, r.valid};
+    }
+    case NormalTransform::kIcdfCuda:
+      return NormalAttempt{normal_icdf_cuda(u1), true};
+    case NormalTransform::kBoxMuller:
+      return NormalAttempt{box_muller(u1, u2), true};
+  }
+  return NormalAttempt{};
+}
+
+double analytic_acceptance(NormalTransform t) {
+  switch (t) {
+    case NormalTransform::kMarsagliaBray: return std::numbers::pi / 4.0;
+    case NormalTransform::kIcdfBitwise: return 1.0 - 0x1.0p-31;
+    case NormalTransform::kIcdfCuda: return 1.0;
+    case NormalTransform::kBoxMuller: return 1.0;
+  }
+  return 1.0;
+}
+
+}  // namespace dwi::rng

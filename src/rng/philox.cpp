@@ -1,0 +1,68 @@
+#include "rng/philox.h"
+
+namespace dwi::rng {
+
+namespace {
+
+constexpr std::uint32_t kMul0 = 0xD2511F53u;
+constexpr std::uint32_t kMul1 = 0xCD9E8D57u;
+constexpr std::uint32_t kWeyl0 = 0x9E3779B9u;  // golden ratio
+constexpr std::uint32_t kWeyl1 = 0xBB67AE85u;  // sqrt(3) - 1
+
+inline void mulhilo(std::uint32_t a, std::uint32_t b, std::uint32_t* hi,
+                    std::uint32_t* lo) {
+  const std::uint64_t p = static_cast<std::uint64_t>(a) * b;
+  *hi = static_cast<std::uint32_t>(p >> 32);
+  *lo = static_cast<std::uint32_t>(p);
+}
+
+inline std::array<std::uint32_t, 4> round_once(
+    const std::array<std::uint32_t, 4>& x,
+    const std::array<std::uint32_t, 2>& k) {
+  std::uint32_t hi0, lo0, hi1, lo1;
+  mulhilo(kMul0, x[0], &hi0, &lo0);
+  mulhilo(kMul1, x[2], &hi1, &lo1);
+  return {hi1 ^ x[1] ^ k[0], lo1, hi0 ^ x[3] ^ k[1], lo0};
+}
+
+}  // namespace
+
+std::array<std::uint32_t, 4> philox4x32(
+    const std::array<std::uint32_t, 4>& counter,
+    const std::array<std::uint32_t, 2>& key) {
+  std::array<std::uint32_t, 4> x = counter;
+  std::array<std::uint32_t, 2> k = key;
+  for (int round = 0; round < 10; ++round) {
+    x = round_once(x, k);
+    k[0] += kWeyl0;
+    k[1] += kWeyl1;
+  }
+  return x;
+}
+
+Philox::Philox(std::uint32_t seed, std::uint32_t stream_id)
+    : key_{seed, stream_id} {}
+
+void Philox::refill() {
+  block_ = philox4x32(counter_, key_);
+  lane_ = 0;
+  // 128-bit counter increment.
+  for (auto& c : counter_) {
+    if (++c != 0) break;
+  }
+}
+
+std::uint32_t Philox::next() {
+  if (lane_ >= 4) refill();
+  return block_[lane_++];
+}
+
+void Philox::seek(std::uint64_t output_index) {
+  const std::uint64_t block = output_index / 4;
+  counter_ = {static_cast<std::uint32_t>(block),
+              static_cast<std::uint32_t>(block >> 32), 0, 0};
+  refill();
+  lane_ = static_cast<unsigned>(output_index % 4);
+}
+
+}  // namespace dwi::rng

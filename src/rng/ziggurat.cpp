@@ -1,0 +1,74 @@
+#include "rng/ziggurat.h"
+
+#include <cmath>
+
+#include "common/bits.h"
+
+namespace dwi::rng {
+
+namespace {
+
+constexpr double kR = 3.442619855899;        // rightmost layer edge
+constexpr double kV = 9.91256303526217e-3;   // per-layer area
+constexpr double kM = 2147483648.0;          // 2^31
+
+}  // namespace
+
+ZigguratNormal::ZigguratNormal() {
+  // Marsaglia & Tsang's zigset: equal-area layer construction.
+  double dn = kR;
+  double tn = kR;
+  const double q = kV / std::exp(-0.5 * dn * dn);
+  k_[0] = static_cast<std::uint32_t>((dn / q) * kM);
+  k_[1] = 0;
+  w_[0] = q / kM;
+  w_[kLayers - 1] = dn / kM;
+  f_[0] = 1.0;
+  f_[kLayers - 1] = std::exp(-0.5 * dn * dn);
+  for (int i = kLayers - 2; i >= 1; --i) {
+    dn = std::sqrt(-2.0 * std::log(kV / dn + std::exp(-0.5 * dn * dn)));
+    k_[i + 1] = static_cast<std::uint32_t>((dn / tn) * kM);
+    tn = dn;
+    f_[i] = std::exp(-0.5 * dn * dn);
+    w_[i] = dn / kM;
+  }
+}
+
+float ZigguratNormal::sample(
+    const std::function<std::uint32_t()>& next_u32) {
+  ++draws_;
+  auto signed_draw = [&] { return static_cast<std::int32_t>(next_u32()); };
+  std::int32_t hz = signed_draw();
+  unsigned iz = static_cast<unsigned>(hz) & (kLayers - 1);
+
+  for (;;) {
+    // Fast path: strictly inside the layer rectangle.
+    if (static_cast<std::uint32_t>(hz < 0 ? -(std::int64_t)hz : hz) <
+        k_[iz]) {
+      return static_cast<float>(hz * w_[iz]);
+    }
+    ++slow_;
+
+    const double x = hz * w_[iz];
+    if (iz == 0) {
+      // Tail beyond r: Marsaglia's exponential-wedge tail sampler.
+      double tail_x;
+      double tail_y;
+      do {
+        tail_x = -std::log(uint2double(next_u32()) +
+                           0x1.0p-33) / kR;
+        tail_y = -std::log(uint2double(next_u32()) + 0x1.0p-33);
+      } while (tail_y + tail_y < tail_x * tail_x);
+      return static_cast<float>(hz > 0 ? kR + tail_x : -kR - tail_x);
+    }
+    // Wedge: accept under the density between the layer lines.
+    if (f_[iz] + uint2double(next_u32()) * (f_[iz - 1] - f_[iz]) <
+        std::exp(-0.5 * x * x)) {
+      return static_cast<float>(x);
+    }
+    hz = signed_draw();
+    iz = static_cast<unsigned>(hz) & (kLayers - 1);
+  }
+}
+
+}  // namespace dwi::rng

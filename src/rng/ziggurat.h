@@ -1,0 +1,40 @@
+// Ziggurat gaussian generator (Marsaglia & Tsang 2000) — the fastest
+// classic software method in the GRNG survey the paper cites [16].
+// Included as the software baseline the FPGA transforms compete with:
+// table lookup + one multiply on ~98.8 % of draws, with the wedge and
+// tail handled by rejection. Like Marsaglia-Bray it is a rejection
+// method with data-dependent branches (the paper's divergence
+// stressor); unlike it, the common path never touches log/sqrt.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+namespace dwi::rng {
+
+class ZigguratNormal {
+ public:
+  ZigguratNormal();
+
+  /// One N(0,1) variate; `next_u32` supplies all randomness.
+  float sample(const std::function<std::uint32_t()>& next_u32);
+
+  /// Fraction of draws that left the fast path (wedge/tail handling) —
+  /// the divergence rate a lockstep architecture would pay for.
+  double slow_path_rate() const {
+    return draws_ == 0 ? 0.0
+                       : static_cast<double>(slow_) /
+                             static_cast<double>(draws_);
+  }
+
+ private:
+  static constexpr unsigned kLayers = 128;
+  std::array<double, kLayers> w_{};
+  std::array<double, kLayers> f_{};
+  std::array<std::uint32_t, kLayers> k_{};
+  std::uint64_t draws_ = 0;
+  std::uint64_t slow_ = 0;
+};
+
+}  // namespace dwi::rng

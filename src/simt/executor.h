@@ -1,0 +1,138 @@
+// Lockstep partition executor: the mechanical core of the
+// fixed-architecture model (Fig 2a/2b).
+//
+// A partition is a group of `width` work-items (a warp on Nvidia, an
+// implicit SIMD group on CPU / Xeon Phi) that issues one instruction
+// stream. A *region* is a straight-line piece of the kernel guarded by
+// an activity mask. Executing a region:
+//   * is skipped entirely when no lane is active (branch not taken by
+//     anyone — the hardware really does skip it);
+//   * otherwise charges its op cost to the partition regardless of how
+//     many lanes are active — the inactive lanes are the paper's red
+//     dots in Fig 2b;
+//   * runs the per-lane body for each active lane, so results stay
+//     bit-faithful to the scalar algorithm.
+//
+// Divergence model: a region whose mask is a strict subset of its
+// enclosing control-flow mask is *divergent*. GPUs execute it once
+// with predication (cost ×1). Implicitly vectorized platforms
+// (CPU / Xeon Phi OpenCL) partially scalarize such regions — masked
+// transcendentals fall back to per-lane scalar library calls — which
+// we model with the platform's `divergence_scalarization` factor
+// p ∈ [0,1]: charged cost = base · ((1−p) + p·active_lanes).
+//
+// SlotStats separates issued slots (what the hardware paid) from useful
+// lane-slots (what the algorithm needed); their ratio is the SIMD
+// efficiency the benchmarks report.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "common/error.h"
+#include "simt/ops.h"
+
+namespace dwi::simt {
+
+using Mask = std::uint64_t;
+
+inline unsigned popcount(Mask m) {
+  return static_cast<unsigned>(__builtin_popcountll(m));
+}
+
+/// Issue-slot accounting for one partition.
+struct SlotStats {
+  double issued_slots = 0.0;            ///< partition-issued slots
+  double useful_slots = 0.0;            ///< lane-weighted useful share
+  std::uint64_t regions = 0;            ///< regions executed
+  std::uint64_t divergent_regions = 0;  ///< executed with a partial mask
+
+  /// Fraction of issued lane-slots that did useful work (0..1].
+  double simd_efficiency(unsigned width) const {
+    if (issued_slots <= 0.0) return 1.0;
+    return useful_slots / (issued_slots * static_cast<double>(width));
+  }
+
+  SlotStats& operator+=(const SlotStats& o) {
+    issued_slots += o.issued_slots;
+    useful_slots += o.useful_slots;
+    regions += o.regions;
+    divergent_regions += o.divergent_regions;
+    return *this;
+  }
+};
+
+/// Executes masked regions over a fixed-width lane group.
+class LockstepPartition {
+ public:
+  /// `scalarization`: the platform's divergence-scalarization factor
+  /// (0 = pure predication, 1 = full per-lane serialization of
+  /// divergent regions).
+  LockstepPartition(unsigned width, const OpCostTable& costs,
+                    double scalarization = 0.0)
+      : width_(width), costs_(&costs), scalarization_(scalarization) {
+    DWI_REQUIRE(width >= 1 && width <= 64,
+                "partition width must be in [1, 64]");
+    DWI_REQUIRE(scalarization >= 0.0 && scalarization <= 1.0,
+                "scalarization factor must be in [0, 1]");
+  }
+
+  unsigned width() const { return width_; }
+
+  Mask full_mask() const {
+    return width_ == 64 ? ~Mask{0} : ((Mask{1} << width_) - 1);
+  }
+
+  /// Execute `body(lane)` for every lane active in `mask`. `parent`
+  /// is the enclosing control-flow mask; mask ⊊ parent marks the
+  /// region divergent. Cost is charged per the divergence model above.
+  template <typename Body>
+  void region(Mask mask, Mask parent, const OpBundle& ops, Body&& body) {
+    mask &= full_mask();
+    parent &= full_mask();
+    DWI_ASSERT((mask & ~parent) == 0);
+    if (mask == 0) return;
+    const unsigned active = popcount(mask);
+    const bool divergent = mask != parent;
+    const double base = costs_->cost(ops);
+    const double charged =
+        divergent
+            ? base * ((1.0 - scalarization_) +
+                      scalarization_ * static_cast<double>(active))
+            : base;
+    stats_.issued_slots += charged;
+    stats_.useful_slots += base * static_cast<double>(active);
+    ++stats_.regions;
+    if (divergent) ++stats_.divergent_regions;
+    if (observer_) observer_(mask, parent, ops);
+    for (unsigned lane = 0; lane < width_; ++lane) {
+      if (mask & (Mask{1} << lane)) body(lane);
+    }
+  }
+
+  /// Charge cost without a body (pure control overhead).
+  void charge(Mask mask, Mask parent, const OpBundle& ops) {
+    region(mask, parent, ops, [](unsigned) {});
+  }
+
+  const SlotStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = SlotStats{}; }
+
+  /// Observer invoked for every executed region with (mask, parent,
+  /// ops) — used by the Fig 2 divergence visualization and by tests
+  /// that pin the region sequence. Null by default (no overhead).
+  using RegionObserver = std::function<void(Mask, Mask, const OpBundle&)>;
+  void set_observer(RegionObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+ private:
+  unsigned width_;
+  const OpCostTable* costs_;
+  double scalarization_;
+  SlotStats stats_;
+  RegionObserver observer_;
+};
+
+}  // namespace dwi::simt

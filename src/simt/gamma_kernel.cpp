@@ -1,0 +1,220 @@
+#include "simt/gamma_kernel.h"
+
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/error.h"
+#include "rng/erfinv.h"
+#include "rng/icdf_bitwise.h"
+#include "rng/normal.h"
+
+namespace dwi::simt {
+
+namespace {
+
+/// Per-lane private state: the work-item's twisters and progress.
+struct LaneState {
+  // MB uses two input twisters (mt0a/mt0b per [18]); ICDF uses mt0a.
+  rng::MersenneTwister mt0a;
+  rng::MersenneTwister mt0b;
+  rng::MersenneTwister mt1;   // rejection uniform
+  rng::MersenneTwister mt2;   // correction uniform
+  std::uint32_t produced = 0;
+
+  // Per-iteration scratch, written by one region and read by the next.
+  float n0 = 0.0f;
+  bool n0_valid = false;
+  float candidate = 0.0f;
+  float v = 0.0f;
+  float u1 = 0.0f;
+  bool squeeze_pass = false;
+  bool accepted = false;
+
+  LaneState(const rng::MtParams& params, std::uint32_t seed)
+      : mt0a(params, seed), mt0b(params, seed ^ 0x5851f42du),
+        mt1(params, seed ^ 0x9e3779b9u), mt2(params, seed ^ 0x6c078965u) {}
+};
+
+}  // namespace
+
+GammaKernelResult run_gamma_partition(
+    const PlatformModel& platform, const rng::AppConfig& config,
+    rng::NormalTransform transform, float sector_variance,
+    std::uint32_t quota_per_lane, std::uint32_t seed,
+    LockstepPartition::RegionObserver observer) {
+  DWI_REQUIRE(quota_per_lane > 0, "quota must be positive");
+  const unsigned width = platform.width;
+  LockstepPartition part(width, platform.costs,
+                         platform.divergence_scalarization);
+  if (observer) part.set_observer(std::move(observer));
+
+  const auto k = rng::GammaConstants::from_sector_variance(sector_variance);
+  const bool uses_mb = transform == rng::NormalTransform::kMarsagliaBray;
+  const OpBundle mt_step =
+      platform.mt_step_bundle(config.state_bytes_per_work_item());
+
+  // Region bundles assembled once. The bit-level ICDF cannot be fully
+  // vectorized on CPU/PHI (§II-D3): its op counts are multiplied by the
+  // platform's serialization factor to model per-lane scalar execution.
+  OpBundle icdf_bitwise = bundles::icdf_bitwise_fixed_arch();
+  {
+    OpBundle scaled;
+    for (std::size_t i = 0; i < kNumOpClasses; ++i) {
+      scaled.counts[i] = static_cast<std::uint32_t>(
+          std::lround(static_cast<double>(icdf_bitwise.counts[i]) *
+                      platform.bitwise_icdf_serial_factor));
+    }
+    icdf_bitwise = scaled;
+  }
+  const OpBundle normal_gen_bundle =
+      uses_mb ? mt_step + mt_step + bundles::marsaglia_bray_setup()
+      : transform == rng::NormalTransform::kIcdfCuda
+          ? mt_step + bundles::icdf_cuda()
+          : mt_step + icdf_bitwise;
+  const OpBundle mb_finish_bundle = bundles::marsaglia_bray_finish();
+  const OpBundle rejection_bundle = mt_step + bundles::gamma_candidate();
+  const OpBundle exact_bundle = bundles::gamma_exact_test();
+  const OpBundle correct_bundle = k.boosted
+                                      ? mt_step + bundles::gamma_correction() +
+                                            bundles::output_store()
+                                      : bundles::output_store();
+  const OpBundle loop_bundle = bundles::loop_control();
+
+  std::vector<LaneState> lanes;
+  lanes.reserve(width);
+  for (unsigned i = 0; i < width; ++i) {
+    lanes.emplace_back(config.mt, seed * 2654435761u + i * 40503u + 1u);
+  }
+
+  GammaKernelResult result;
+  result.outputs.reserve(static_cast<std::size_t>(width) * quota_per_lane);
+
+  auto lane_bit = [](unsigned lane) { return Mask{1} << lane; };
+
+  Mask alive = part.full_mask();
+  while (alive != 0) {
+    ++result.iterations;
+    part.charge(alive, part.full_mask(), loop_bundle);
+
+    // --- normal generation (all alive lanes) ----------------------------
+    Mask normal_valid = 0;
+    part.region(alive, alive, normal_gen_bundle, [&](unsigned i) {
+      LaneState& l = lanes[i];
+      ++result.attempts;
+      switch (transform) {
+        case rng::NormalTransform::kMarsagliaBray: {
+          const float v1 = 2.0f * uint2float_open0(l.mt0a.next()) - 1.0f;
+          const float v2 = 2.0f * uint2float_open0(l.mt0b.next()) - 1.0f;
+          const float s = v1 * v1 + v2 * v2;
+          if (s < 1.0f && s > 0.0f) {
+            // Store the pre-finish values; the sqrt/log happen in the
+            // divergent finish region below.
+            l.n0 = v1;
+            l.v = s;
+            l.n0_valid = true;
+          } else {
+            l.n0_valid = false;
+          }
+          break;
+        }
+        case rng::NormalTransform::kIcdfCuda:
+          l.n0 = rng::normal_icdf_cuda(l.mt0a.next());
+          l.n0_valid = true;
+          break;
+        case rng::NormalTransform::kIcdfBitwise: {
+          const auto r = rng::normal_icdf_bitwise(l.mt0a.next());
+          l.n0 = r.value;
+          l.n0_valid = r.valid;
+          break;
+        }
+        case rng::NormalTransform::kBoxMuller:
+          l.n0 = rng::box_muller(l.mt0a.next(), l.mt0b.next());
+          l.n0_valid = true;
+          break;
+      }
+      if (l.n0_valid) normal_valid |= lane_bit(i);
+    });
+
+    // --- Marsaglia-Bray finish (divergent: only accepted lanes) ---------
+    if (uses_mb) {
+      part.region(normal_valid, alive, mb_finish_bundle, [&](unsigned i) {
+        LaneState& l = lanes[i];
+        const float s = l.v;
+        l.n0 = l.n0 * std::sqrt(-2.0f * std::log(s) / s);
+      });
+    }
+
+    // --- rejection stage (divergent when the transform rejects) ---------
+    Mask candidate_ok = 0;
+    part.region(normal_valid, alive, rejection_bundle, [&](unsigned i) {
+      LaneState& l = lanes[i];
+      l.u1 = uint2float_open0(l.mt1.next());
+      const float t = 1.0f + k.c * l.n0;
+      if (t <= 0.0f) {
+        l.squeeze_pass = false;
+        l.accepted = false;
+        return;
+      }
+      l.v = t * t * t;
+      const float x2 = l.n0 * l.n0;
+      l.squeeze_pass = l.u1 < 1.0f - 0.0331f * x2 * x2;
+      l.accepted = l.squeeze_pass;
+      candidate_ok |= lane_bit(i);
+    });
+
+    // --- exact log test for squeeze failures (divergent) ----------------
+    Mask need_exact = 0;
+    for (unsigned i = 0; i < width; ++i) {
+      if ((candidate_ok & lane_bit(i)) && !lanes[i].squeeze_pass) {
+        need_exact |= lane_bit(i);
+      }
+    }
+    part.region(need_exact, alive, exact_bundle, [&](unsigned i) {
+      LaneState& l = lanes[i];
+      const float x2 = l.n0 * l.n0;
+      l.accepted =
+          std::log(l.u1) < 0.5f * x2 + k.d * (1.0f - l.v + std::log(l.v));
+    });
+
+    // --- correction + store (divergent: only accepted lanes) ------------
+    Mask accepted_mask = 0;
+    for (unsigned i = 0; i < width; ++i) {
+      if ((candidate_ok & lane_bit(i)) && lanes[i].accepted &&
+          lanes[i].produced < quota_per_lane) {
+        accepted_mask |= lane_bit(i);
+      }
+    }
+    part.region(accepted_mask, alive, correct_bundle, [&](unsigned i) {
+      LaneState& l = lanes[i];
+      float g = k.d * l.v * k.scale;
+      if (k.boosted) {
+        const float u2 = uint2float_open0(l.mt2.next());
+        g = rng::gamma_correct(g, u2, k);
+      }
+      result.outputs.push_back(g);
+      ++l.produced;
+      ++result.accepted;
+    });
+
+    // --- loop exit: a lane retires when its quota is met -----------------
+    Mask next_alive = 0;
+    for (unsigned i = 0; i < width; ++i) {
+      if (lanes[i].produced < quota_per_lane) next_alive |= lane_bit(i);
+    }
+    alive = next_alive;
+  }
+
+  result.stats = part.stats();
+  return result;
+}
+
+double gamma_kernel_init_slots(const PlatformModel& platform,
+                               const rng::AppConfig& config) {
+  // Knuth seeding: one multiply + add + xor/shift per state word, per
+  // twister (§IV-B makes this visible at large global sizes, Fig 5b).
+  OpBundle init;
+  init.add(OpClass::kIntAlu, 4 * config.mt.n * config.num_twisters());
+  return platform.costs.cost(init);
+}
+
+}  // namespace dwi::simt

@@ -1,0 +1,94 @@
+#include "simt/ops.h"
+
+namespace dwi::simt {
+
+const char* to_string(OpClass c) {
+  switch (c) {
+    case OpClass::kIntAlu: return "int_alu";
+    case OpClass::kFloatAdd: return "float_add";
+    case OpClass::kFloatMul: return "float_mul";
+    case OpClass::kFloatDiv: return "float_div";
+    case OpClass::kSqrt: return "sqrt";
+    case OpClass::kLog: return "log";
+    case OpClass::kExp: return "exp";
+    case OpClass::kPow: return "pow";
+    case OpClass::kTableLookup: return "table_lookup";
+    case OpClass::kMemStore: return "mem_store";
+    case OpClass::kLoopCtl: return "loop_ctl";
+    case OpClass::kStateSpill: return "state_spill";
+    case OpClass::kCount: break;
+  }
+  return "?";
+}
+
+namespace bundles {
+
+OpBundle mersenne_twister_step() {
+  // Twist: 2 loads, masks, shift, conditional xor, middle-word xor (~6
+  // int ops amortized) + tempering: 4 shift-xor pairs (~8 ops) + index.
+  return OpBundle{}.add(OpClass::kIntAlu, 15);
+}
+
+OpBundle marsaglia_bray_setup() {
+  // v1 = 2u−1 (×2), s = v1² + v2², compare: 2 mul + 3 add-class + int→fp.
+  return OpBundle{}
+      .add(OpClass::kFloatMul, 4)
+      .add(OpClass::kFloatAdd, 3);
+}
+
+OpBundle marsaglia_bray_finish() {
+  // f = sqrt(−2 ln s / s); out = v1 · f.
+  return OpBundle{}
+      .add(OpClass::kLog, 1)
+      .add(OpClass::kFloatDiv, 1)
+      .add(OpClass::kSqrt, 1)
+      .add(OpClass::kFloatMul, 2);
+}
+
+OpBundle icdf_cuda() {
+  // w = −log(1−x²); degree-8 Horner (8 FMA); p·x; the sqrt tail branch
+  // has probability ~7e-6 and is amortized away.
+  return OpBundle{}
+      .add(OpClass::kLog, 1)
+      .add(OpClass::kFloatMul, 10)
+      .add(OpClass::kFloatAdd, 10);
+}
+
+OpBundle icdf_bitwise_fixed_arch() {
+  // Emulated LZD (~8 int ops without a CLZ instruction exposed in
+  // OpenCL C 1.x), segment/sub-segment extraction (~10 masks/shifts),
+  // 3 coefficient loads from a gathered table, 2 integer MACs emulated
+  // on 32-bit lanes (~6 ops), format fix-ups (~6). This is the §II-D3
+  // "inefficient on CPU and Xeon Phi" path.
+  return OpBundle{}
+      .add(OpClass::kIntAlu, 45)
+      .add(OpClass::kTableLookup, 4);
+}
+
+OpBundle gamma_candidate() {
+  // t = 1 + c·x; v = t³; squeeze u < 1 − 0.0331 x⁴: ~5 mul, 3 add/cmp.
+  return OpBundle{}
+      .add(OpClass::kFloatMul, 5)
+      .add(OpClass::kFloatAdd, 3);
+}
+
+OpBundle gamma_exact_test() {
+  // ln u and ln v plus the quadratic form.
+  return OpBundle{}
+      .add(OpClass::kLog, 2)
+      .add(OpClass::kFloatMul, 3)
+      .add(OpClass::kFloatAdd, 3);
+}
+
+OpBundle gamma_correction() {
+  return OpBundle{}.add(OpClass::kPow, 1).add(OpClass::kFloatMul, 1);
+}
+
+OpBundle output_store() {
+  return OpBundle{}.add(OpClass::kMemStore, 1).add(OpClass::kIntAlu, 2);
+}
+
+OpBundle loop_control() { return OpBundle{}.add(OpClass::kLoopCtl, 1); }
+
+}  // namespace bundles
+}  // namespace dwi::simt

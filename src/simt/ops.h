@@ -1,0 +1,118 @@
+// Operation classes and cost bundles for the lockstep (SIMT) execution
+// model of the fixed-architecture accelerators.
+//
+// Why this exists: the paper's explanation for the FPGA's advantage
+// (Fig 2) is that fixed architectures execute work-items in hardware
+// partitions (warps / SIMD groups) and data-dependent branches force
+// the partition to issue both branch sides while inactive lanes idle.
+// To reproduce Table III's *shape* we therefore need an engine that
+// charges instruction-issue slots per *region* of a kernel (once per
+// partition, regardless of how many lanes are active) and tracks how
+// many of those slots did useful work. OpBundle is the per-region cost
+// vocabulary; OpCostTable holds a platform's per-class slot costs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace dwi::simt {
+
+/// Instruction classes with materially different costs on the paper's
+/// platforms. Kept deliberately coarse: the model targets ratios
+/// between configurations, not cycle-accurate CPU simulation.
+enum class OpClass : unsigned {
+  kIntAlu = 0,   ///< integer add/shift/mask (Mersenne-Twister body)
+  kFloatAdd,     ///< FP add/sub/compare
+  kFloatMul,     ///< FP multiply / FMA
+  kFloatDiv,     ///< FP divide
+  kSqrt,         ///< square root
+  kLog,          ///< natural logarithm
+  kExp,          ///< exponential
+  kPow,          ///< powf (the α<1 correction) ≈ log + mul + exp
+  kTableLookup,  ///< indexed constant-table load (segmented ICDF)
+  kMemStore,     ///< global-memory store of one output
+  kLoopCtl,      ///< loop bookkeeping per iteration
+  kStateSpill,   ///< PRNG state access once it exceeds fast private
+                 ///< storage (registers/L1) — the mechanism behind the
+                 ///< Config1→Config2 speedups on GPU/PHI (Table III)
+  kCount,
+};
+
+constexpr std::size_t kNumOpClasses = static_cast<std::size_t>(OpClass::kCount);
+
+const char* to_string(OpClass c);
+
+/// A multiset of operations executed by one region of a kernel, per lane.
+struct OpBundle {
+  std::array<std::uint32_t, kNumOpClasses> counts{};
+
+  OpBundle& add(OpClass c, std::uint32_t n = 1) {
+    counts[static_cast<std::size_t>(c)] += n;
+    return *this;
+  }
+  std::uint32_t count(OpClass c) const {
+    return counts[static_cast<std::size_t>(c)];
+  }
+  OpBundle operator+(const OpBundle& o) const {
+    OpBundle r = *this;
+    for (std::size_t i = 0; i < kNumOpClasses; ++i) r.counts[i] += o.counts[i];
+    return r;
+  }
+};
+
+/// Per-platform issue-slot costs of each operation class.
+struct OpCostTable {
+  std::array<double, kNumOpClasses> slots{};
+
+  double cost(OpClass c) const { return slots[static_cast<std::size_t>(c)]; }
+  double cost(const OpBundle& b) const {
+    double total = 0.0;
+    for (std::size_t i = 0; i < kNumOpClasses; ++i) {
+      total += slots[i] * b.counts[i];
+    }
+    return total;
+  }
+};
+
+/// Canonical op bundles for the kernels' building blocks, so that every
+/// engine (SIMT and the FPGA resource model) agrees on what one step of
+/// each algorithm "is".
+namespace bundles {
+
+/// One Mersenne-Twister output: twist (conditional xor, shifts, masks)
+/// amortized + 4 tempering xors/shifts.
+OpBundle mersenne_twister_step();
+
+/// Marsaglia-Bray geometry: 2 uniforms → v1, v2, s and the accept test.
+OpBundle marsaglia_bray_setup();
+
+/// Marsaglia-Bray accepted-path finish: log, divide, sqrt, multiply.
+OpBundle marsaglia_bray_finish();
+
+/// CUDA-style ICDF: log, sqrt (tail only, amortized), polynomial.
+OpBundle icdf_cuda();
+
+/// Bit-level segmented ICDF, executed with 32-bit integer ops on fixed
+/// architectures (§II-D3 explains why this is slow there): LZD emulation,
+/// masks/shifts, table lookups, fixed-point MACs.
+OpBundle icdf_bitwise_fixed_arch();
+
+/// Gamma candidate: cube, squeeze test.
+OpBundle gamma_candidate();
+
+/// Gamma exact test (squeeze failed): two logs and arithmetic.
+OpBundle gamma_exact_test();
+
+/// α<1 correction: one powf and a multiply.
+OpBundle gamma_correction();
+
+/// Output store + counter bookkeeping.
+OpBundle output_store();
+
+/// Per-iteration loop control.
+OpBundle loop_control();
+
+}  // namespace bundles
+
+}  // namespace dwi::simt

@@ -1,0 +1,220 @@
+#include "simt/platform.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace dwi::simt {
+
+const char* to_string(PlatformId id) {
+  switch (id) {
+    case PlatformId::kCpu: return "CPU";
+    case PlatformId::kGpu: return "GPU";
+    case PlatformId::kPhi: return "PHI";
+  }
+  return "?";
+}
+
+namespace {
+
+OpCostTable make_costs(double int_alu, double fadd, double fmul, double fdiv,
+                       double sqrt_c, double log_c, double exp_c, double pow_c,
+                       double table, double store, double loop,
+                       double spill) {
+  OpCostTable t;
+  auto set = [&](OpClass c, double v) {
+    t.slots[static_cast<std::size_t>(c)] = v;
+  };
+  set(OpClass::kIntAlu, int_alu);
+  set(OpClass::kFloatAdd, fadd);
+  set(OpClass::kFloatMul, fmul);
+  set(OpClass::kFloatDiv, fdiv);
+  set(OpClass::kSqrt, sqrt_c);
+  set(OpClass::kLog, log_c);
+  set(OpClass::kExp, exp_c);
+  set(OpClass::kPow, pow_c);
+  set(OpClass::kTableLookup, table);
+  set(OpClass::kMemStore, store);
+  set(OpClass::kLoopCtl, loop);
+  set(OpClass::kStateSpill, spill);
+  return t;
+}
+
+}  // namespace
+
+OpBundle PlatformModel::mt_step_bundle(std::uint64_t state_bytes) const {
+  OpBundle b = bundles::mersenne_twister_step();
+  if (state_bytes > fast_state_bytes) {
+    // One slow state access per step once the private PRNG state no
+    // longer fits fast storage; `spill_slots` scales the kStateSpill
+    // class cost so the penalty is a single calibrated number.
+    b.add(OpClass::kStateSpill, 1);
+  }
+  return b;
+}
+
+double PlatformModel::work_group_factor(
+    unsigned local_size, std::uint64_t state_bytes_per_wi) const {
+  DWI_REQUIRE(local_size >= 1, "local size must be positive");
+  const double w = static_cast<double>(width);
+  const double l = static_cast<double>(local_size);
+
+  // 1) Partition underfill: a work-group of L work-items occupies
+  //    ceil(L/W) partitions; the last one runs partially filled.
+  const double partitions = std::ceil(l / w);
+  const double fill = l / (partitions * w);
+  const double underfill_factor = 1.0 / fill;
+
+  // 2) Latency hiding: the executor needs `latency_hiding_groups`
+  //    resident partitions per work-group to cover pipeline/memory
+  //    latency (GPU: ≥2 warps per block). Below that, stalls surface.
+  const double needed = latency_hiding_groups;
+  double latency_factor = 1.0;
+  if (partitions < needed) {
+    latency_factor += latency_penalty * (needed - partitions) / needed;
+  }
+
+  // 3) State working set: L work-items × private PRNG state must share
+  //    the executor-local cache; each doubling beyond it costs
+  //    `cache_penalty_slope`.
+  const double ws = l * static_cast<double>(state_bytes_per_wi);
+  double cache_factor = 1.0;
+  const double cache = static_cast<double>(cache_bytes_per_executor);
+  if (ws > cache) {
+    cache_factor += cache_penalty_slope * std::log2(ws / cache);
+  }
+
+  return underfill_factor * latency_factor * cache_factor;
+}
+
+double PlatformModel::global_size_factor(std::uint64_t global_size,
+                                         double init_slots_per_wi,
+                                         double work_slots_total) const {
+  DWI_REQUIRE(global_size >= 1, "global size must be positive");
+  // Underutilization: fewer work-items than the device's lane count ×
+  // an oversubscription factor (load balancing across executors) leaves
+  // lanes idle.
+  const double device_lanes =
+      static_cast<double>(executors) * static_cast<double>(width);
+  const double needed = device_lanes * 4.0;  // 4× oversubscription
+  const double g = static_cast<double>(global_size);
+  const double util_factor = g < needed ? needed / g : 1.0;
+
+  // Per-work-item one-time cost (PRNG seeding: Table I's 624-word state
+  // × 3-4 twisters is substantial) grows linearly with global size.
+  const double init_total = init_slots_per_wi * g;
+  const double init_factor =
+      work_slots_total > 0.0 ? 1.0 + init_total / work_slots_total : 1.0;
+
+  return util_factor * init_factor;
+}
+
+double PlatformModel::slots_to_seconds(double issued_slots) const {
+  return issued_slots /
+         (static_cast<double>(executors) * issue_rate * clock_hz);
+}
+
+// ---------------------------------------------------------------------------
+// Calibration notes (DESIGN.md §6): geometry from §IV-A; `issue_rate`,
+// op costs, scalarization and spill constants fitted to Table III's
+// twelve fixed-architecture cells (see bench/table3_runtime and
+// EXPERIMENTS.md for achieved vs paper).
+// ---------------------------------------------------------------------------
+
+const PlatformModel& cpu_haswell() {
+  static const PlatformModel m = [] {
+    PlatformModel p;
+    p.id = PlatformId::kCpu;
+    p.name = "CPU (2x Xeon E5-2670 v3, OpenCL accelerator)";
+    p.width = 8;          // AVX2: 8 fp32 lanes per implicit SIMD group
+    p.executors = 24;     // 24 cores (the 24 HT threads share ports)
+    p.clock_hz = 2.3e9;
+    p.issue_rate = 0.34;  // OpenCL-on-CPU efficiency vs peak (calibrated)
+    p.divergence_scalarization = 1.0;  // masked libm → per-lane scalar
+    p.fast_state_bytes = 64 * 1024;    // L1+L2 slice: MT19937 never spills
+    p.cache_bytes_per_executor = 256 * 1024;
+    p.cache_penalty_slope = 0.18;
+    p.latency_hiding_groups = 1.0;     // OoO core needs no SMT groups
+    p.latency_penalty = 0.0;
+    p.launch_overhead_s = 30e-6;
+    p.bitwise_icdf_serial_factor = 8.0;   // fully scalar on 8-wide AVX2
+    p.costs = make_costs(/*int*/ 1.0, /*fadd*/ 1.0, /*fmul*/ 1.0,
+                         /*fdiv*/ 10.0, /*sqrt*/ 10.0, /*log*/ 22.0,
+                         /*exp*/ 22.0, /*pow*/ 34.0, /*table*/ 4.0,
+                         /*store*/ 2.0, /*loop*/ 2.0, /*spill*/ 8.0);
+    return p;
+  }();
+  return m;
+}
+
+const PlatformModel& gpu_tesla_k80() {
+  static const PlatformModel m = [] {
+    PlatformModel p;
+    p.id = PlatformId::kGpu;
+    p.name = "GPU (Nvidia Tesla K80, 2x GK210)";
+    p.width = 32;        // warp
+    p.executors = 104;   // 2 GPUs x 13 SMX x 4 warp schedulers
+    p.clock_hz = 0.56e9;
+    p.issue_rate = 0.136;  // sustained warp-issue vs peak (calibrated)
+    p.divergence_scalarization = 0.08;  // predication + replay overhead
+    p.fast_state_bytes = 2 * 1024;     // registers + L1 slice per thread
+    p.cache_bytes_per_executor = 16 * 1024;
+    p.cache_penalty_slope = 0.05;
+    p.latency_hiding_groups = 2.0;     // ≥2 warps per block (Fig 5a: 64)
+    p.latency_penalty = 0.9;
+    p.launch_overhead_s = 60e-6;
+    p.bitwise_icdf_serial_factor = 1.0;  // gathers/CLZ are native on GPU
+    p.costs = make_costs(/*int*/ 1.0, /*fadd*/ 1.0, /*fmul*/ 1.0,
+                         /*fdiv*/ 6.0, /*sqrt*/ 6.0, /*log*/ 12.0,
+                         /*exp*/ 12.0, /*pow*/ 24.0, /*table*/ 2.0,
+                         /*store*/ 4.0, /*loop*/ 1.0, /*spill*/ 33.0);
+    return p;
+  }();
+  return m;
+}
+
+const PlatformModel& phi_7120p() {
+  static const PlatformModel m = [] {
+    PlatformModel p;
+    p.id = PlatformId::kPhi;
+    p.name = "PHI (Intel Xeon Phi 7120P)";
+    p.width = 16;       // 512-bit / fp32
+    p.executors = 61;   // cores (4 SMT threads feed one VPU)
+    p.clock_hz = 1.238e9;
+    p.issue_rate = 0.19;  // in-order VPU sustained issue (calibrated)
+    p.divergence_scalarization = 0.05;  // masked SVML: partial penalty
+    p.fast_state_bytes = 2 * 1024;      // L1 share per work-item
+    p.cache_bytes_per_executor = 512 * 1024;  // L2 per core
+    p.cache_penalty_slope = 0.12;
+    p.latency_hiding_groups = 1.0;      // (SMT threads, not partitions)
+    p.latency_penalty = 0.3;
+    p.launch_overhead_s = 80e-6;
+    p.bitwise_icdf_serial_factor = 10.0;  // near-scalar: masked gathers stall
+    p.costs = make_costs(/*int*/ 1.0, /*fadd*/ 1.0, /*fmul*/ 1.0,
+                         /*fdiv*/ 8.0, /*sqrt*/ 8.0, /*log*/ 10.0,
+                         /*exp*/ 10.0, /*pow*/ 22.0, /*table*/ 5.0,
+                         /*store*/ 2.0, /*loop*/ 2.0, /*spill*/ 12.0);
+    return p;
+  }();
+  return m;
+}
+
+const PlatformModel& platform(PlatformId id) {
+  switch (id) {
+    case PlatformId::kCpu: return cpu_haswell();
+    case PlatformId::kGpu: return gpu_tesla_k80();
+    case PlatformId::kPhi: return phi_7120p();
+  }
+  throw Error("unknown platform id");
+}
+
+unsigned paper_optimal_local_size(PlatformId id) {
+  switch (id) {
+    case PlatformId::kCpu: return 8;
+    case PlatformId::kGpu: return 64;
+    case PlatformId::kPhi: return 16;
+  }
+  return 1;
+}
+
+}  // namespace dwi::simt

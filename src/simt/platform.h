@@ -1,0 +1,110 @@
+// Platform models for the three fixed-architecture accelerators of the
+// paper's testbed (§IV-A):
+//   CPU: 2× Intel Xeon E5-2670 v3 (Haswell, 2×12 cores, 2.3 GHz)
+//   GPU: Nvidia Tesla K80 (2× GK210, 2×13 SMX, 560 MHz base)
+//   PHI: Intel Xeon Phi 7120P (61 cores, 1.238 GHz, 512-bit SIMD)
+//
+// The model converts the lockstep executor's issue-slot counts into
+// seconds. Geometry (widths, executor counts, clocks) comes straight
+// from the datasheets; the per-platform behavioural constants
+// (op costs, divergence scalarization, state-spill penalty, issue
+// efficiency) are CALIBRATION constants fitted once against Table III
+// and documented below — see DESIGN.md §6 for the reproduction
+// contract (shape, not absolute testbed numbers).
+//
+// Mechanisms the model must carry to reproduce Table III's shape:
+//   1. divergence: partitions pay for branch sides any lane takes
+//      (executor.h), worse on wider partitions;
+//   2. divergence scalarization on implicitly vectorized platforms:
+//      masked transcendentals become per-lane scalar calls (CPU worst,
+//      PHI partial, GPU none) — this is what makes Config1 (30 %
+//      rejection + log/sqrt/div in the divergent path) so expensive on
+//      CPU while Config3 (7 % rejection, branchless erfinv) is cheap;
+//   3. PRNG state spill: with MT(19937), a work-item carries 7.5–10 KB
+//      of private state, which no longer fits registers/fast memory on
+//      GPU/PHI — every twister step pays a slow-memory access. This is
+//      why Config2/Config4 (17-word MT(521)) run ~2× faster than
+//      Config1/Config3 on GPU but CPU (with its large caches) does not
+//      move (Table III);
+//   4. work-group size effects (Fig 5a) and global-size effects
+//      (Fig 5b): underfilled partitions, latency hiding, per-work-item
+//      state working set vs cache, and per-work-item PRNG init cost.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rng/configs.h"
+#include "simt/executor.h"
+#include "simt/ops.h"
+
+namespace dwi::simt {
+
+enum class PlatformId { kCpu, kGpu, kPhi };
+
+const char* to_string(PlatformId id);
+
+struct PlatformModel {
+  PlatformId id;
+  std::string name;
+
+  // --- geometry (datasheet) ---------------------------------------------
+  unsigned width;        ///< hardware partition width (lanes)
+  unsigned executors;    ///< concurrent partition issue units
+  double clock_hz;       ///< base clock
+  double issue_rate;     ///< issue slots per executor-cycle (calibrated)
+
+  // --- behavioural constants (calibrated against Table III) --------------
+  double divergence_scalarization;  ///< p in executor.h's cost rule
+  std::uint64_t fast_state_bytes;   ///< private state that stays fast
+  double spill_slots;               ///< extra slots per MT step when spilled
+  std::uint64_t cache_bytes_per_executor;  ///< for the Fig 5a model
+  double cache_penalty_slope;       ///< runtime factor per doubling over
+  double latency_hiding_groups;     ///< partitions/group needed to hide
+                                    ///< latency (GPU warps per block)
+  double latency_penalty;           ///< slowdown when under-occupied
+  double launch_overhead_s;         ///< per kernel invocation
+  /// Serialization factor of the bit-level segmented ICDF on this
+  /// platform: indexed gathers + LZD emulation defeat implicit
+  /// vectorization (§II-D3), so the region executes (partially)
+  /// per-lane. 1 = fully vectorized/native (GPU); `width` = fully
+  /// scalar. This is what produces Table III's "ICDF FPGA-style"
+  /// CPU/PHI rows.
+  double bitwise_icdf_serial_factor;
+  OpCostTable costs;
+
+  // --- derived -----------------------------------------------------------
+
+  /// Op bundle of one Mersenne-Twister step for a work-item whose total
+  /// private PRNG state is `state_bytes` (mechanism 3 above).
+  OpBundle mt_step_bundle(std::uint64_t state_bytes) const;
+
+  /// Work-group size multiplier on runtime (Fig 5a model): partition
+  /// underfill, latency hiding, and state working set vs cache.
+  double work_group_factor(unsigned local_size,
+                           std::uint64_t state_bytes_per_wi) const;
+
+  /// Global-size multiplier at fixed total work (Fig 5b model):
+  /// device underutilization at small global sizes; PRNG re-init
+  /// overhead per extra work-item at large ones. `init_slots_per_wi` is
+  /// the one-time seeding cost, `work_slots_total` the steady-state
+  /// kernel cost at the reference global size.
+  double global_size_factor(std::uint64_t global_size,
+                            double init_slots_per_wi,
+                            double work_slots_total) const;
+
+  /// Convert total issued partition-slots into seconds of kernel time.
+  double slots_to_seconds(double issued_slots) const;
+};
+
+/// Factory functions for the paper's three fixed platforms.
+const PlatformModel& cpu_haswell();
+const PlatformModel& gpu_tesla_k80();
+const PlatformModel& phi_7120p();
+
+const PlatformModel& platform(PlatformId id);
+
+/// Optimal local sizes the paper derives from Fig 5a.
+unsigned paper_optimal_local_size(PlatformId id);
+
+}  // namespace dwi::simt

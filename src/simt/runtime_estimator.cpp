@@ -1,0 +1,71 @@
+#include "simt/runtime_estimator.h"
+
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/error.h"
+
+namespace dwi::simt {
+
+RuntimeEstimate estimate_runtime(const PlatformModel& platform,
+                                 const rng::AppConfig& config,
+                                 rng::NormalTransform transform,
+                                 const NdRangeWorkload& workload,
+                                 unsigned sample_partitions,
+                                 std::uint32_t sample_quota,
+                                 std::uint32_t seed) {
+  DWI_REQUIRE(workload.global_size >= platform.width,
+              "global size below one partition");
+  DWI_REQUIRE(workload.total_outputs >= workload.global_size,
+              "fewer outputs than work-items");
+
+  const unsigned local_size = workload.local_size != 0
+                                  ? workload.local_size
+                                  : paper_optimal_local_size(platform.id);
+
+  // --- simulate a sample of partitions ---------------------------------
+  SlotStats stats;
+  std::uint64_t attempts = 0;
+  std::uint64_t accepted = 0;
+  for (unsigned s = 0; s < sample_partitions; ++s) {
+    const GammaKernelResult r =
+        run_gamma_partition(platform, config, transform,
+                            workload.sector_variance, sample_quota,
+                            seed + s * 7919u);
+    stats += r.stats;
+    attempts += r.attempts;
+    accepted += r.accepted;
+  }
+  const double sampled_outputs =
+      static_cast<double>(sample_partitions) * platform.width * sample_quota;
+  const double slots_per_output = stats.issued_slots / sampled_outputs;
+
+  // --- scale to the full NDRange ---------------------------------------
+  const double work_slots =
+      slots_per_output * static_cast<double>(workload.total_outputs);
+
+  // Work-group and global-size multipliers (Fig 5 models). The
+  // global-size factor covers both device underutilization and the
+  // per-work-item PRNG seeding overhead.
+  const double wg = platform.work_group_factor(
+      local_size, config.state_bytes_per_work_item());
+  const double gs = platform.global_size_factor(
+      workload.global_size, gamma_kernel_init_slots(platform, config),
+      work_slots);
+  const double slots_total = work_slots * wg * gs;
+
+  RuntimeEstimate e;
+  e.slots_total = slots_total;
+  e.seconds = platform.slots_to_seconds(slots_total) +
+              platform.launch_overhead_s;
+  e.simd_efficiency = stats.simd_efficiency(platform.width);
+  e.rejection_rate =
+      attempts == 0 ? 0.0
+                    : 1.0 - static_cast<double>(accepted) /
+                                static_cast<double>(attempts);
+  e.sampled_partitions = sample_partitions;
+  e.slots_per_output = slots_per_output;
+  return e;
+}
+
+}  // namespace dwi::simt

@@ -1,0 +1,50 @@
+// Converts lockstep simulation of a *sample* of partitions into the
+// full NDRange kernel runtime for a fixed-architecture platform —
+// the quantity Table III reports for CPU / GPU / PHI.
+//
+// Scaling argument (DESIGN.md §5): after its first few iterations the
+// kernel is in steady state, so issued slots grow linearly in the
+// per-lane quota. We simulate a handful of partitions with a reduced
+// quota, take the mean slots per produced output, and scale to the
+// paper's 629M outputs. Under-filled tails, one-time PRNG seeding,
+// work-group and global-size effects are added analytically.
+#pragma once
+
+#include <cstdint>
+
+#include "rng/configs.h"
+#include "simt/gamma_kernel.h"
+#include "simt/platform.h"
+
+namespace dwi::simt {
+
+/// The NDRange workload of §IV-B.
+struct NdRangeWorkload {
+  std::uint64_t total_outputs = 2'621'440ull * 240ull;
+  std::uint64_t global_size = 65'536;
+  unsigned local_size = 0;  ///< 0 = the platform's Fig 5a optimum
+  float sector_variance = 1.39f;
+};
+
+struct RuntimeEstimate {
+  double seconds = 0.0;
+  double slots_total = 0.0;
+  double simd_efficiency = 1.0;     ///< useful / issued lane-slots
+  double rejection_rate = 0.0;      ///< measured in the simulated sample
+  double sampled_partitions = 0.0;
+  double slots_per_output = 0.0;
+};
+
+/// Estimate the kernel runtime of `config` on `platform`.
+/// `transform` usually comes from config.fixed_arch_transform; pass
+/// kIcdfBitwise explicitly for Table III's "ICDF FPGA-style" rows.
+/// `sample_partitions` × `sample_quota` control simulation effort.
+RuntimeEstimate estimate_runtime(const PlatformModel& platform,
+                                 const rng::AppConfig& config,
+                                 rng::NormalTransform transform,
+                                 const NdRangeWorkload& workload,
+                                 unsigned sample_partitions = 4,
+                                 std::uint32_t sample_quota = 400,
+                                 std::uint32_t seed = 1);
+
+}  // namespace dwi::simt

@@ -1,0 +1,27 @@
+// Anderson-Darling goodness-of-fit test against a fully specified
+// CDF. Compared to Kolmogorov-Smirnov it weights the tails by
+// 1/(F(1−F)), which is where the gamma distributions of this library
+// differ when an implementation is subtly wrong (e.g. a clipped
+// correction term) — KS can miss what A-D catches.
+#pragma once
+
+#include <functional>
+#include <span>
+
+namespace dwi::stats {
+
+struct AdResult {
+  double a2 = 0.0;        ///< the A² statistic
+  double a2_star = 0.0;   ///< small-sample adjusted A²*
+  double p_value = 1.0;   ///< case-0 (fully specified) approximation
+  std::size_t n = 0;
+};
+
+/// One-sample A-D test of `sample` against `cdf` (distribution fully
+/// specified, no fitted parameters). Sample is copied and sorted.
+AdResult anderson_darling_test(std::span<const double> sample,
+                               const std::function<double(double)>& cdf);
+AdResult anderson_darling_test(std::span<const float> sample,
+                               const std::function<double(double)>& cdf);
+
+}  // namespace dwi::stats

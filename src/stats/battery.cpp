@@ -1,0 +1,202 @@
+#include "stats/battery.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <ostream>
+
+#include "common/bits.h"
+#include "common/error.h"
+#include "stats/distributions.h"
+#include "stats/special.h"
+
+namespace dwi::stats {
+
+namespace {
+
+using Source = std::function<std::uint32_t()>;
+
+double two_sided_normal_p(double z) {
+  return std::erfc(std::fabs(z) / std::sqrt(2.0));
+}
+
+double chi_square_p(double x2, unsigned dof) {
+  return gamma_q(dof / 2.0, x2 / 2.0);
+}
+
+BatteryTestResult bit_frequency(const Source& gen, std::uint64_t n) {
+  std::array<std::uint64_t, 32> ones{};
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint32_t v = gen();
+    for (unsigned b = 0; b < 32; ++b) {
+      ones[b] += (v >> b) & 1u;
+    }
+  }
+  // Chi-square over the 32 positions (each ~ Binomial(n, 1/2)).
+  double x2 = 0.0;
+  const double expected = static_cast<double>(n) / 2.0;
+  for (unsigned b = 0; b < 32; ++b) {
+    const double d = static_cast<double>(ones[b]) - expected;
+    x2 += d * d / (expected / 2.0);
+  }
+  return {"bit-frequency", x2, chi_square_p(x2, 32)};
+}
+
+BatteryTestResult runs_test(const Source& gen, std::uint64_t n) {
+  std::uint64_t runs = 1;
+  std::uint64_t n_above = 0;
+  bool prev = (gen() >> 31) != 0;
+  if (prev) ++n_above;
+  for (std::uint64_t i = 1; i < n; ++i) {
+    const bool cur = (gen() >> 31) != 0;
+    if (cur) ++n_above;
+    if (cur != prev) ++runs;
+    prev = cur;
+  }
+  const double n1 = static_cast<double>(n_above);
+  const double n2 = static_cast<double>(n - n_above);
+  const double mean = 2.0 * n1 * n2 / (n1 + n2) + 1.0;
+  const double var = (mean - 1.0) * (mean - 2.0) / (n1 + n2 - 1.0);
+  const double z = (static_cast<double>(runs) - mean) / std::sqrt(var);
+  return {"runs", z, two_sided_normal_p(z)};
+}
+
+BatteryTestResult serial_correlation(const Source& gen, std::uint64_t n) {
+  // Worst (smallest p) over lags 1..3, Bonferroni-corrected.
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = uint2double(gen());
+  double worst_p = 1.0;
+  double worst_stat = 0.0;
+  for (unsigned lag = 1; lag <= 3; ++lag) {
+    double sum = 0.0;
+    for (std::uint64_t i = 0; i + lag < n; ++i) {
+      sum += (xs[i] - 0.5) * (xs[i + lag] - 0.5);
+    }
+    const double m = static_cast<double>(n - lag);
+    // Var[(U-1/2)(V-1/2)] = 1/144 for independent uniforms.
+    const double z = sum / std::sqrt(m / 144.0);
+    const double p = two_sided_normal_p(z) * 3.0;  // Bonferroni
+    if (p < worst_p) {
+      worst_p = p;
+      worst_stat = z;
+    }
+  }
+  return {"serial-correlation", worst_stat, std::min(1.0, worst_p)};
+}
+
+BatteryTestResult poker_test(const Source& gen, std::uint64_t n) {
+  std::array<std::uint64_t, 16> counts{};
+  std::uint64_t total = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint32_t v = gen();
+    for (unsigned nib = 0; nib < 8; ++nib) {
+      ++counts[(v >> (nib * 4)) & 0xF];
+      ++total;
+    }
+  }
+  const double expected = static_cast<double>(total) / 16.0;
+  double x2 = 0.0;
+  for (auto c : counts) {
+    const double d = static_cast<double>(c) - expected;
+    x2 += d * d / expected;
+  }
+  return {"poker(4-bit)", x2, chi_square_p(x2, 15)};
+}
+
+BatteryTestResult gap_test(const Source& gen, std::uint64_t n) {
+  // Gaps between visits to [0, 0.1): Geometric(p = 0.1); chi-square
+  // over gap lengths 0..19 and the 20+ tail.
+  constexpr double kP = 0.1;
+  constexpr unsigned kMaxGap = 20;
+  std::array<std::uint64_t, kMaxGap + 1> counts{};
+  std::uint64_t gap = 0;
+  std::uint64_t gaps_seen = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (uint2double(gen()) < kP) {
+      ++counts[std::min<std::uint64_t>(gap, kMaxGap)];
+      ++gaps_seen;
+      gap = 0;
+    } else {
+      ++gap;
+    }
+  }
+  DWI_REQUIRE(gaps_seen > 200, "gap test needs more samples");
+  double x2 = 0.0;
+  for (unsigned g = 0; g <= kMaxGap; ++g) {
+    const double prob = g < kMaxGap
+                            ? kP * std::pow(1.0 - kP, g)
+                            : std::pow(1.0 - kP, kMaxGap);
+    const double expected = prob * static_cast<double>(gaps_seen);
+    const double d = static_cast<double>(counts[g]) - expected;
+    x2 += d * d / expected;
+  }
+  return {"gap", x2, chi_square_p(x2, kMaxGap)};
+}
+
+BatteryTestResult coupon_test(const Source& gen, std::uint64_t n) {
+  // Draws needed to see all 8 octants; compare mean against the
+  // coupon-collector expectation 8·H_8 ≈ 21.743 with a z-test
+  // (variance 8²·Σ(1−1/i)/i² ≈ 36.26... computed exactly below).
+  constexpr unsigned kCells = 8;
+  double expected_mean = 0.0;
+  double expected_var = 0.0;
+  for (unsigned i = 1; i <= kCells; ++i) {
+    expected_mean += static_cast<double>(kCells) / i;
+    const double p = static_cast<double>(i) / kCells;  // success prob
+    expected_var += (1.0 - p) / (p * p);
+  }
+  std::uint64_t collections = 0;
+  double sum_draws = 0.0;
+  unsigned seen_mask = 0;
+  std::uint64_t draws = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ++draws;
+    seen_mask |= 1u << (gen() >> 29);
+    if (seen_mask == 0xFFu) {
+      sum_draws += static_cast<double>(draws);
+      ++collections;
+      seen_mask = 0;
+      draws = 0;
+    }
+  }
+  DWI_REQUIRE(collections > 100, "coupon test needs more samples");
+  const double mean = sum_draws / static_cast<double>(collections);
+  const double z = (mean - expected_mean) /
+                   std::sqrt(expected_var / static_cast<double>(collections));
+  return {"coupon(octants)", z, two_sided_normal_p(z)};
+}
+
+}  // namespace
+
+bool BatteryReport::all_pass(double alpha) const {
+  return std::all_of(results.begin(), results.end(),
+                     [&](const auto& r) { return r.p_value > alpha; });
+}
+
+double BatteryReport::min_p_value() const {
+  double p = 1.0;
+  for (const auto& r : results) p = std::min(p, r.p_value);
+  return p;
+}
+
+void BatteryReport::render(std::ostream& os) const {
+  for (const auto& r : results) {
+    os << "  " << r.name << ": stat=" << r.statistic
+       << " p=" << r.p_value << "\n";
+  }
+}
+
+BatteryReport run_battery(const std::function<std::uint32_t()>& next_u32,
+                          std::uint64_t samples) {
+  DWI_REQUIRE(samples >= 50'000, "battery needs at least 50k samples");
+  BatteryReport report;
+  report.results.push_back(bit_frequency(next_u32, samples));
+  report.results.push_back(runs_test(next_u32, samples));
+  report.results.push_back(serial_correlation(next_u32, samples));
+  report.results.push_back(poker_test(next_u32, samples / 4));
+  report.results.push_back(gap_test(next_u32, samples));
+  report.results.push_back(coupon_test(next_u32, samples));
+  return report;
+}
+
+}  // namespace dwi::stats

@@ -1,0 +1,46 @@
+// A compact statistical test battery for uniform 32-bit generators —
+// a TestU01-flavoured health check applied to every PRNG configuration
+// the library ships (both Mersenne-Twister parameter sets, jumped
+// streams, and the enable-gated adapted variant under random gating).
+//
+// Six classical tests, each reduced to a p-value:
+//   1. bit-frequency   — every one of the 32 bit positions is fair;
+//   2. runs            — runs above/below the median (Wald-Wolfowitz);
+//   3. serial corr.    — lag-1..3 autocorrelation of the uniforms;
+//   4. poker           — 4-bit nibble frequencies (chi-square);
+//   5. gap             — gaps between visits to [0, 0.1) are geometric;
+//   6. coupon          — draws needed to collect all 8 octants.
+//
+// These are health checks, not proofs: the full-period guarantee for
+// MT(521) comes from rng/dcmt.h.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dwi::stats {
+
+struct BatteryTestResult {
+  std::string name;
+  double statistic = 0.0;
+  double p_value = 1.0;
+};
+
+struct BatteryReport {
+  std::vector<BatteryTestResult> results;
+
+  /// All p-values above the rejection threshold.
+  bool all_pass(double alpha = 1e-4) const;
+  /// Smallest p-value across the battery.
+  double min_p_value() const;
+  void render(std::ostream& os) const;
+};
+
+/// Run the battery on `next_u32`, consuming ~`samples` draws per test.
+BatteryReport run_battery(const std::function<std::uint32_t()>& next_u32,
+                          std::uint64_t samples = 200'000);
+
+}  // namespace dwi::stats

@@ -1,0 +1,75 @@
+#include "stats/chi_square.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "stats/special.h"
+
+namespace dwi::stats {
+
+ChiSquareResult chi_square_test(const Histogram& hist,
+                                const std::function<double(double)>& cdf,
+                                double min_expected) {
+  DWI_REQUIRE(hist.total() > 0, "chi_square_test: empty histogram");
+  const double n = static_cast<double>(hist.total());
+
+  // Cell probabilities: (-inf, lo], per-bin, [hi, inf).
+  struct Cell {
+    double observed;
+    double expected;
+  };
+  std::vector<Cell> cells;
+  cells.reserve(hist.bin_count() + 2);
+
+  double prev_cdf = 0.0;
+  {
+    const double p_under = cdf(hist.lo());
+    cells.push_back({static_cast<double>(hist.underflow()), n * p_under});
+    prev_cdf = p_under;
+  }
+  for (std::size_t b = 0; b < hist.bin_count(); ++b) {
+    const double upper = hist.lo() + (static_cast<double>(b) + 1.0) *
+                                         hist.bin_width();
+    const double f = cdf(upper);
+    cells.push_back({static_cast<double>(hist.count(b)), n * (f - prev_cdf)});
+    prev_cdf = f;
+  }
+  cells.push_back({static_cast<double>(hist.overflow()), n * (1.0 - prev_cdf)});
+
+  // Merge adjacent cells until every expected count reaches the minimum.
+  std::vector<Cell> merged;
+  Cell acc{0.0, 0.0};
+  std::size_t merges = 0;
+  for (const Cell& c : cells) {
+    acc.observed += c.observed;
+    acc.expected += c.expected;
+    if (acc.expected >= min_expected) {
+      merged.push_back(acc);
+      acc = Cell{0.0, 0.0};
+    } else {
+      ++merges;
+    }
+  }
+  if (acc.expected > 0.0 || acc.observed > 0.0) {
+    if (!merged.empty()) {
+      merged.back().observed += acc.observed;
+      merged.back().expected += acc.expected;
+    } else {
+      merged.push_back(acc);
+    }
+  }
+  DWI_REQUIRE(merged.size() >= 2,
+              "chi_square_test: too few cells after merging");
+
+  double x2 = 0.0;
+  for (const Cell& c : merged) {
+    const double diff = c.observed - c.expected;
+    x2 += diff * diff / c.expected;
+  }
+  const std::size_t dof = merged.size() - 1;
+  const double p = gamma_q(static_cast<double>(dof) / 2.0, x2 / 2.0);
+  return ChiSquareResult{x2, dof, p, merges};
+}
+
+}  // namespace dwi::stats

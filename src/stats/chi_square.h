@@ -1,0 +1,26 @@
+// Pearson chi-square goodness-of-fit test over a Histogram against an
+// analytic CDF, with tail bins merged until every expected count is at
+// least a configurable minimum (the classic >= 5 rule).
+#pragma once
+
+#include <functional>
+
+#include "stats/histogram.h"
+
+namespace dwi::stats {
+
+struct ChiSquareResult {
+  double statistic = 0.0;
+  std::size_t dof = 0;     ///< degrees of freedom after merging
+  double p_value = 1.0;    ///< upper-tail probability Q(dof/2, X²/2)
+  std::size_t merged_bins = 0;
+};
+
+/// Test `hist` against the distribution with CDF `cdf`. Underflow and
+/// overflow counters are folded into the first/last cells so the test
+/// covers the full support.
+ChiSquareResult chi_square_test(const Histogram& hist,
+                                const std::function<double(double)>& cdf,
+                                double min_expected = 5.0);
+
+}  // namespace dwi::stats

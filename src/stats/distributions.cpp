@@ -1,0 +1,68 @@
+#include "stats/distributions.h"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "common/error.h"
+#include "stats/special.h"
+
+namespace dwi::stats {
+
+double normal_pdf(double x) {
+  return std::exp(-0.5 * x * x) / std::sqrt(2.0 * std::numbers::pi);
+}
+
+double normal_cdf(double x) {
+  return 0.5 * std::erfc(-x / std::numbers::sqrt2);
+}
+
+double gamma_pdf(double x, double shape, double scale) {
+  DWI_REQUIRE(shape > 0.0 && scale > 0.0,
+              "gamma_pdf: shape and scale must be positive");
+  if (x < 0.0) return 0.0;
+  if (x == 0.0) {
+    // Density at the origin: 0 for shape > 1, 1/scale for shape == 1,
+    // +inf for shape < 1 (we clamp to a large finite value for plotting).
+    if (shape > 1.0) return 0.0;
+    if (shape == 1.0) return 1.0 / scale;
+    return std::numeric_limits<double>::infinity();
+  }
+  const double z = x / scale;
+  const double log_pdf =
+      (shape - 1.0) * std::log(z) - z - log_gamma(shape) - std::log(scale);
+  return std::exp(log_pdf);
+}
+
+double gamma_cdf(double x, double shape, double scale) {
+  DWI_REQUIRE(shape > 0.0 && scale > 0.0,
+              "gamma_cdf: shape and scale must be positive");
+  if (x <= 0.0) return 0.0;
+  return gamma_p(shape, x / scale);
+}
+
+double gamma_quantile(double p, double shape, double scale) {
+  DWI_REQUIRE(p >= 0.0 && p < 1.0, "gamma_quantile: p must be in [0,1)");
+  if (p == 0.0) return 0.0;
+  // Bracket: mean + k stddev grows until the CDF exceeds p.
+  double hi = shape * scale + 10.0 * std::sqrt(shape) * scale;
+  while (gamma_cdf(hi, shape, scale) < p) hi *= 2.0;
+  double lo = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (gamma_cdf(mid, shape, scale) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-13 * (1.0 + hi)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+GammaParams GammaParams::from_sector_variance(double v) {
+  DWI_REQUIRE(v > 0.0, "sector variance must be positive");
+  return GammaParams{1.0 / v, v};
+}
+
+}  // namespace dwi::stats

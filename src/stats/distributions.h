@@ -1,0 +1,39 @@
+// Analytic probability distributions used for validation (Fig 6) and by
+// the CreditRisk+ application: standard normal, and the gamma
+// distribution in the paper's (shape a, scale b) parameterization with
+// E[X] = a·b and Var[X] = a·b².
+//
+// In the CreditRisk+ setup (§II-D4) each sector S_k ~ Gamma(a_k, b_k)
+// with a_k = 1/v_k, b_k = v_k so that E[S_k] = 1, Var[S_k] = v_k.
+#pragma once
+
+namespace dwi::stats {
+
+/// Standard normal density φ(x).
+double normal_pdf(double x);
+
+/// Standard normal CDF Φ(x).
+double normal_cdf(double x);
+
+/// Gamma(shape, scale) density at x (0 for x < 0).
+double gamma_pdf(double x, double shape, double scale);
+
+/// Gamma(shape, scale) CDF at x.
+double gamma_cdf(double x, double shape, double scale);
+
+/// Quantile of Gamma(shape, scale): smallest x with CDF(x) >= p.
+/// Computed by bisection on gamma_cdf (robust; validation-only path).
+double gamma_quantile(double p, double shape, double scale);
+
+/// Parameters of a CreditRisk+ sector with variance v: shape = 1/v,
+/// scale = v (unit mean).
+struct GammaParams {
+  double shape = 1.0;
+  double scale = 1.0;
+
+  static GammaParams from_sector_variance(double v);
+  double mean() const { return shape * scale; }
+  double variance() const { return shape * scale * scale; }
+};
+
+}  // namespace dwi::stats

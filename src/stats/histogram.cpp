@@ -1,0 +1,91 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace dwi::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  DWI_REQUIRE(hi > lo, "histogram range must be non-empty");
+  DWI_REQUIRE(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  if (bin >= counts_.size()) bin = counts_.size() - 1;  // fp edge case
+  ++counts_[bin];
+}
+
+void Histogram::add(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+void Histogram::add(std::span<const float> xs) {
+  for (float x : xs) add(static_cast<double>(x));
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  DWI_REQUIRE(bin < counts_.size(), "bin index out of range");
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+double Histogram::density(std::size_t bin) const {
+  DWI_REQUIRE(bin < counts_.size(), "bin index out of range");
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[bin]) /
+         (static_cast<double>(total_) * width_);
+}
+
+void Histogram::render(std::ostream& os,
+                       const std::function<double(double)>& reference_pdf,
+                       std::size_t max_bar_width) const {
+  double max_density = 0.0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    max_density = std::max(max_density, density(b));
+    if (reference_pdf) {
+      const double ref = reference_pdf(bin_center(b));
+      if (std::isfinite(ref)) max_density = std::max(max_density, ref);
+    }
+  }
+  if (max_density <= 0.0) max_density = 1.0;
+
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double d = density(b);
+    const auto bar = static_cast<std::size_t>(
+        std::lround(d / max_density * static_cast<double>(max_bar_width)));
+    os << std::fixed << std::setprecision(3) << std::setw(8) << bin_center(b)
+       << " | " << std::string(bar, '#');
+    if (reference_pdf) {
+      const double ref = reference_pdf(bin_center(b));
+      if (std::isfinite(ref)) {
+        const auto mark = static_cast<std::size_t>(std::lround(
+            ref / max_density * static_cast<double>(max_bar_width)));
+        if (mark > bar) {
+          os << std::string(mark - bar, ' ') << '*';
+        } else {
+          os << '*';
+        }
+      }
+    }
+    os << '\n';
+  }
+  os << "samples=" << total_ << " underflow=" << underflow_
+     << " overflow=" << overflow_ << '\n';
+}
+
+}  // namespace dwi::stats

@@ -1,0 +1,54 @@
+// Fixed-bin histogram used to reproduce Fig 6 (empirical gamma
+// distribution vs analytic reference) and to drive chi-square tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+namespace dwi::stats {
+
+class Histogram {
+ public:
+  /// Equal-width bins over [lo, hi); samples outside land in the
+  /// underflow/overflow counters.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add(std::span<const double> xs);
+  void add(std::span<const float> xs);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double bin_width() const { return width_; }
+  double bin_center(std::size_t bin) const;
+
+  /// Empirical density of a bin: count / (total * bin_width).
+  double density(std::size_t bin) const;
+
+  /// Render an ASCII bar plot, optionally overlaying a reference density
+  /// (marked with '*' at the reference height) — the textual analogue of
+  /// Fig 6's "gray area vs dotted line".
+  void render(std::ostream& os,
+              const std::function<double(double)>& reference_pdf = nullptr,
+              std::size_t max_bar_width = 60) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace dwi::stats

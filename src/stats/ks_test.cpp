@@ -1,0 +1,46 @@
+#include "stats/ks_test.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "stats/special.h"
+
+namespace dwi::stats {
+
+namespace {
+
+KsResult ks_on_sorted(std::vector<double>& xs,
+                      const std::function<double(double)>& cdf) {
+  DWI_REQUIRE(!xs.empty(), "ks_test: empty sample");
+  std::sort(xs.begin(), xs.end());
+  const double n = static_cast<double>(xs.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double f = cdf(xs[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, std::fabs(f - lo), std::fabs(hi - f)});
+  }
+  const double sqrt_n = std::sqrt(n);
+  // Stephens' small-sample correction for the asymptotic distribution.
+  const double lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+  return KsResult{d, kolmogorov_q(lambda), xs.size()};
+}
+
+}  // namespace
+
+KsResult ks_test(std::span<const double> sample,
+                 const std::function<double(double)>& cdf) {
+  std::vector<double> xs(sample.begin(), sample.end());
+  return ks_on_sorted(xs, cdf);
+}
+
+KsResult ks_test(std::span<const float> sample,
+                 const std::function<double(double)>& cdf) {
+  std::vector<double> xs(sample.begin(), sample.end());
+  return ks_on_sorted(xs, cdf);
+}
+
+}  // namespace dwi::stats

@@ -1,0 +1,25 @@
+// One-sample Kolmogorov-Smirnov test against an analytic CDF.
+// Used to validate every generated distribution (uniform, normal,
+// gamma) against its reference, reproducing Fig 6's comparison
+// quantitatively instead of by eye.
+#pragma once
+
+#include <functional>
+#include <span>
+
+namespace dwi::stats {
+
+struct KsResult {
+  double statistic = 0.0;  ///< sup_x |F_n(x) - F(x)|
+  double p_value = 1.0;    ///< asymptotic Kolmogorov p-value
+  std::size_t n = 0;
+};
+
+/// Compute the KS statistic of `sample` against `cdf`. The sample is
+/// copied and sorted internally.
+KsResult ks_test(std::span<const double> sample,
+                 const std::function<double(double)>& cdf);
+KsResult ks_test(std::span<const float> sample,
+                 const std::function<double(double)>& cdf);
+
+}  // namespace dwi::stats

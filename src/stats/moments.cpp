@@ -1,0 +1,98 @@
+#include "stats/moments.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace dwi::stats {
+
+void RunningMoments::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  const double n1 = static_cast<double>(n_);
+  ++n_;
+  const double n = static_cast<double>(n_);
+  const double delta = x - mean_;
+  const double delta_n = delta / n;
+  const double delta_n2 = delta_n * delta_n;
+  const double term1 = delta * delta_n * n1;
+  mean_ += delta_n;
+  m4_ += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * m2_ -
+         4.0 * delta_n * m3_;
+  m3_ += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * m2_;
+  m2_ += term1;
+}
+
+void RunningMoments::add(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+void RunningMoments::add(std::span<const float> xs) {
+  for (float x : xs) add(static_cast<double>(x));
+}
+
+void RunningMoments::merge(const RunningMoments& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double n = na + nb;
+  const double delta = other.mean_ - mean_;
+  const double delta2 = delta * delta;
+  const double delta3 = delta2 * delta;
+  const double delta4 = delta2 * delta2;
+
+  const double m2 = m2_ + other.m2_ + delta2 * na * nb / n;
+  const double m3 = m3_ + other.m3_ +
+                    delta3 * na * nb * (na - nb) / (n * n) +
+                    3.0 * delta * (na * other.m2_ - nb * m2_) / n;
+  const double m4 =
+      m4_ + other.m4_ +
+      delta4 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n) +
+      6.0 * delta2 * (na * na * other.m2_ + nb * nb * m2_) / (n * n) +
+      4.0 * delta * (na * other.m3_ - nb * m3_) / n;
+
+  mean_ = (na * mean_ + nb * other.mean_) / n;
+  m2_ = m2;
+  m3_ = m3;
+  m4_ = m4;
+  n_ += other.n_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+double RunningMoments::mean() const {
+  DWI_REQUIRE(n_ > 0, "mean of empty sample");
+  return mean_;
+}
+
+double RunningMoments::variance() const {
+  DWI_REQUIRE(n_ > 1, "variance needs at least two samples");
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningMoments::stddev() const { return std::sqrt(variance()); }
+
+double RunningMoments::skewness() const {
+  DWI_REQUIRE(n_ > 2, "skewness needs at least three samples");
+  const double n = static_cast<double>(n_);
+  if (m2_ <= 0.0) return 0.0;
+  return std::sqrt(n) * m3_ / std::pow(m2_, 1.5);
+}
+
+double RunningMoments::excess_kurtosis() const {
+  DWI_REQUIRE(n_ > 3, "kurtosis needs at least four samples");
+  const double n = static_cast<double>(n_);
+  if (m2_ <= 0.0) return 0.0;
+  return n * m4_ / (m2_ * m2_) - 3.0;
+}
+
+}  // namespace dwi::stats

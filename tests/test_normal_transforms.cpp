@@ -1,0 +1,235 @@
+// Tests for the uniform-to-normal transforms: accuracy of Giles'
+// erfinv, bit-level correctness and accuracy of the FPGA-style
+// segmented ICDF, acceptance rates of Marsaglia-Bray, and statistical
+// normality of every transform's output (parameterized sweep).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "common/bits.h"
+#include "rng/erfinv.h"
+#include "rng/icdf_bitwise.h"
+#include "rng/mersenne_twister.h"
+#include "rng/normal.h"
+#include "stats/distributions.h"
+#include "stats/ks_test.h"
+#include "stats/moments.h"
+#include "stats/special.h"
+
+namespace dwi::rng {
+namespace {
+
+TEST(ErfinvGiles, MatchesReferenceCentralRegion) {
+  for (double x = -0.995; x < 0.999; x += 0.01) {
+    const float approx = erfinv_giles(static_cast<float>(x));
+    const double exact = stats::erf_inv(x);
+    EXPECT_NEAR(approx, exact, 2e-5 * (1.0 + std::fabs(exact)))
+        << "x=" << x;
+  }
+}
+
+TEST(ErfinvGiles, MatchesReferenceTailRegion) {
+  // w >= 5 branch: |x| close enough to 1 that -log(1-x²) ≥ 5, i.e.
+  // x > ~0.99832, but still representable as a float distinct from 1.
+  for (double d : {1e-3, 1e-4, 1e-5, 1e-6}) {
+    const float xf = static_cast<float>(1.0 - d);
+    ASSERT_LT(xf, 1.0f);
+    const float approx = erfinv_giles(xf);
+    const double exact = stats::erf_inv(static_cast<double>(xf));
+    EXPECT_NEAR(approx / exact, 1.0, 2e-3) << "x=1-" << d;
+  }
+}
+
+TEST(ErfinvGiles, OddSymmetry) {
+  for (float x : {0.1f, 0.5f, 0.9f, 0.999f}) {
+    EXPECT_FLOAT_EQ(erfinv_giles(-x), -erfinv_giles(x));
+  }
+  EXPECT_FLOAT_EQ(erfinv_giles(0.0f), 0.0f);
+}
+
+TEST(ErfinvGiles, ErfcinvIdentity) {
+  for (float x : {0.5f, 1.0f, 1.5f}) {
+    EXPECT_FLOAT_EQ(erfcinv_giles(x), erfinv_giles(1.0f - x));
+  }
+}
+
+TEST(IcdfCuda, MedianAndQuartiles) {
+  EXPECT_NEAR(normal_icdf_cuda(0x80000000u), 0.0f, 1e-6f);
+  // u = 0.25 → Φ^{-1}(0.25) ≈ -0.6744898.
+  EXPECT_NEAR(normal_icdf_cuda(0x40000000u), -0.6744898f, 1e-4f);
+  EXPECT_NEAR(normal_icdf_cuda(0xc0000000u), 0.6744898f, 1e-4f);
+}
+
+TEST(IcdfCuda, AntisymmetricInInput) {
+  for (std::uint32_t u : {0x10000000u, 0x3fffffffu, 0x00000100u}) {
+    const float lo = normal_icdf_cuda(u);
+    const float hi = normal_icdf_cuda(~u);  // reflected input
+    EXPECT_NEAR(lo, -hi, 2e-5f * (1.0f + std::fabs(lo)));
+  }
+}
+
+TEST(IcdfBitwise, AccurateAgainstReference) {
+  // Sweep deterministic and random inputs; absolute error bound 1e-3,
+  // and much tighter in the central region.
+  std::mt19937 eng(17);
+  double max_err = 0.0;
+  for (int i = 0; i < 200000; ++i) {
+    const auto u = static_cast<std::uint32_t>(eng());
+    const IcdfResult r = normal_icdf_bitwise(u);
+    if (!r.valid) continue;
+    const double p = (static_cast<double>(u) + 0.5) * 0x1.0p-32;
+    const double exact = stats::inverse_normal_cdf(p);
+    max_err = std::max(max_err, std::fabs(r.value - exact));
+  }
+  EXPECT_LT(max_err, 1e-3);
+}
+
+TEST(IcdfBitwise, AccurateDeepInTheTails) {
+  // Walk every octave: u = 2^k and reflections.
+  for (unsigned k = 0; k < 31; ++k) {
+    const std::uint32_t u = std::uint32_t{1} << k;
+    const IcdfResult r = normal_icdf_bitwise(u);
+    ASSERT_TRUE(r.valid);
+    const double p = (static_cast<double>(u) + 0.5) * 0x1.0p-32;
+    const double exact = stats::inverse_normal_cdf(p);
+    EXPECT_NEAR(r.value, exact, 5e-3 * (1.0 + std::fabs(exact)))
+        << "octave k=" << k;
+  }
+}
+
+TEST(IcdfBitwise, SymmetryOfReflectedInputs) {
+  std::mt19937 eng(23);
+  for (int i = 0; i < 1000; ++i) {
+    const auto u = static_cast<std::uint32_t>(eng()) | 1u;  // avoid the invalid word
+    const IcdfResult lo = normal_icdf_bitwise(u);
+    const IcdfResult hi = normal_icdf_bitwise(~u);
+    ASSERT_TRUE(lo.valid && hi.valid);
+    EXPECT_FLOAT_EQ(lo.value, -hi.value);
+  }
+}
+
+TEST(IcdfBitwise, SingleInvalidWord) {
+  EXPECT_FALSE(normal_icdf_bitwise(0u).valid);
+  EXPECT_FALSE(normal_icdf_bitwise(0xffffffffu).valid);  // reflects to 0
+  EXPECT_TRUE(normal_icdf_bitwise(1u).valid);
+  EXPECT_TRUE(normal_icdf_bitwise(0x7fffffffu).valid);
+  EXPECT_TRUE(normal_icdf_bitwise(0x80000000u).valid);
+}
+
+TEST(IcdfBitwise, MonotoneNondecreasingInInput) {
+  // Φ^{-1} is strictly increasing; the piecewise fit must at least be
+  // non-decreasing across segment boundaries on a coarse sweep.
+  float prev = -100.0f;
+  for (std::uint64_t u = 1; u < 0xffffffffull; u += 0x100000ull) {
+    const IcdfResult r = normal_icdf_bitwise(static_cast<std::uint32_t>(u));
+    ASSERT_TRUE(r.valid);
+    EXPECT_GE(r.value, prev - 1e-4f) << "u=" << u;
+    prev = r.value;
+  }
+}
+
+TEST(IcdfBitwise, TableFootprintMatchesGeometry) {
+  EXPECT_EQ(IcdfBitwiseTable::table_bits(), 31u * 8u * 3u * 32u);
+}
+
+TEST(MarsagliaBray, AcceptanceNearPiOver4) {
+  MersenneTwister mt(mt19937_params(), 101u);
+  int accepted = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const auto a = marsaglia_bray_attempt(mt.next(), mt.next());
+    if (a.valid) ++accepted;
+  }
+  const double rate = static_cast<double>(accepted) / kN;
+  EXPECT_NEAR(rate, std::atan(1.0), 0.005);  // π/4 ≈ 0.7854
+}
+
+TEST(MarsagliaBray, RejectsOutsideUnitDisk) {
+  // u1 = u2 = max → v1 = v2 ≈ 1 → s ≈ 2 → reject.
+  EXPECT_FALSE(marsaglia_bray_attempt(0xffffffffu, 0xffffffffu).valid);
+  // u1, u2 at midpoint → v ≈ 0 → s ≈ 0 → reject (s == 0 guard).
+  const auto mid = marsaglia_bray_attempt(0x80000000u, 0x80000000u);
+  // (exactly zero can't occur with the open-interval mapping, so this
+  // may be a tiny accepted value; only check it does not produce NaN)
+  if (mid.valid) {
+    EXPECT_TRUE(std::isfinite(mid.value));
+  }
+}
+
+TEST(BoxMuller, ProducesFinitePairs) {
+  MersenneTwister mt(mt19937_params(), 5u);
+  for (int i = 0; i < 1000; ++i) {
+    float second = 0.0f;
+    const float first = box_muller(mt.next(), mt.next(), &second);
+    EXPECT_TRUE(std::isfinite(first));
+    EXPECT_TRUE(std::isfinite(second));
+  }
+}
+
+TEST(NormalDispatch, UniformsPerAttempt) {
+  EXPECT_EQ(uniforms_per_attempt(NormalTransform::kMarsagliaBray), 2u);
+  EXPECT_EQ(uniforms_per_attempt(NormalTransform::kIcdfBitwise), 1u);
+  EXPECT_EQ(uniforms_per_attempt(NormalTransform::kIcdfCuda), 1u);
+  EXPECT_EQ(uniforms_per_attempt(NormalTransform::kBoxMuller), 2u);
+}
+
+TEST(NormalDispatch, AnalyticAcceptance) {
+  EXPECT_NEAR(analytic_acceptance(NormalTransform::kMarsagliaBray),
+              0.785398, 1e-5);
+  EXPECT_DOUBLE_EQ(analytic_acceptance(NormalTransform::kIcdfCuda), 1.0);
+}
+
+// Parameterized statistical normality: every transform's accepted
+// output stream must be N(0,1) by KS and by moments.
+class TransformNormality
+    : public ::testing::TestWithParam<NormalTransform> {};
+
+TEST_P(TransformNormality, OutputIsStandardNormal) {
+  const NormalTransform t = GetParam();
+  MersenneTwister mt(mt19937_params(), 2024u);
+  std::vector<double> xs;
+  stats::RunningMoments m;
+  constexpr int kWanted = 150000;
+  xs.reserve(kWanted);
+  while (xs.size() < kWanted) {
+    const std::uint32_t u1 = mt.next();
+    const std::uint32_t u2 =
+        uniforms_per_attempt(t) == 2 ? mt.next() : 0u;
+    const auto a = normal_attempt(t, u1, u2);
+    if (!a.valid) continue;
+    xs.push_back(a.value);
+    m.add(static_cast<double>(a.value));
+  }
+  EXPECT_NEAR(m.mean(), 0.0, 0.01);
+  EXPECT_NEAR(m.variance(), 1.0, 0.02);
+  EXPECT_NEAR(m.skewness(), 0.0, 0.03);
+  EXPECT_NEAR(m.excess_kurtosis(), 0.0, 0.08);
+
+  const auto ks = stats::ks_test(
+      std::span<const double>(xs),
+      [](double x) { return stats::normal_cdf(x); });
+  EXPECT_GT(ks.p_value, 1e-3)
+      << to_string(t) << ": KS D=" << ks.statistic;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransforms, TransformNormality,
+    ::testing::Values(NormalTransform::kMarsagliaBray,
+                      NormalTransform::kIcdfBitwise,
+                      NormalTransform::kIcdfCuda,
+                      NormalTransform::kBoxMuller),
+    [](const ::testing::TestParamInfo<NormalTransform>& param_info) {
+      switch (param_info.param) {
+        case NormalTransform::kMarsagliaBray: return "MarsagliaBray";
+        case NormalTransform::kIcdfBitwise: return "IcdfBitwise";
+        case NormalTransform::kIcdfCuda: return "IcdfCuda";
+        case NormalTransform::kBoxMuller: return "BoxMuller";
+      }
+      return "Unknown";
+    });
+
+}  // namespace
+}  // namespace dwi::rng

@@ -1,0 +1,160 @@
+// Tests for the analytic CreditRisk+ recursion: power-series algebra,
+// closed-form special cases (pure Poisson, single sector), moment
+// identities, and agreement with the Monte-Carlo engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "common/error.h"
+#include "finance/creditrisk_plus.h"
+#include "finance/panjer.h"
+#include "stats/special.h"
+
+namespace dwi::finance {
+namespace {
+
+TEST(Series, MultiplyTruncated) {
+  // (1 + z)² = 1 + 2z + z².
+  std::vector<double> a = {1, 1, 0, 0};
+  const auto c = series::multiply(a, a);
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+  EXPECT_DOUBLE_EQ(c[1], 2.0);
+  EXPECT_DOUBLE_EQ(c[2], 1.0);
+  EXPECT_DOUBLE_EQ(c[3], 0.0);
+}
+
+TEST(Series, LogOfExpIsIdentity) {
+  std::vector<double> h = {0.3, -1.2, 0.5, 0.07, -0.3, 0.11};
+  const auto back = series::log(series::exp(h));
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    EXPECT_NEAR(back[i], h[i], 1e-12) << "coefficient " << i;
+  }
+}
+
+TEST(Series, ExpMatchesPoissonPgf) {
+  // exp(μ(z−1)) coefficients are Poisson(μ) probabilities.
+  const double mu = 2.5;
+  std::vector<double> h(12, 0.0);
+  h[0] = -mu;
+  h[1] = mu;
+  const auto a = series::exp(h);
+  for (std::size_t n = 0; n < a.size(); ++n) {
+    const double expected =
+        std::exp(-mu + static_cast<double>(n) * std::log(mu) -
+                 stats::log_gamma(static_cast<double>(n) + 1.0));
+    EXPECT_NEAR(a[n], expected, 1e-12) << "n=" << n;
+  }
+}
+
+TEST(Series, LogValidatesInput) {
+  EXPECT_THROW(series::log({0.0, 1.0}), Error);
+  EXPECT_THROW(series::log({}), Error);
+}
+
+Portfolio idiosyncratic_only(double pd, double exposure, int n_obligors) {
+  std::vector<Obligor> obligors(
+      static_cast<std::size_t>(n_obligors),
+      Obligor{exposure, pd, {0.0}});  // zero sector loading
+  return Portfolio({{1.0, "unused"}}, std::move(obligors));
+}
+
+TEST(Panjer, PurePoissonSingleObligor) {
+  // One obligor, idiosyncratic only: L/ν·L0 ~ Poisson(p).
+  const auto p = idiosyncratic_only(0.04, 5.0, 1);
+  const auto dist = creditrisk_plus_analytic(p, 1.0, 64);
+  EXPECT_NEAR(dist.captured_mass(), 1.0, 1e-12);
+  // P(0 defaults) = e^-0.04; P(1) lands at band ν = 5.
+  EXPECT_NEAR(dist.probabilities[0], std::exp(-0.04), 1e-12);
+  EXPECT_NEAR(dist.probabilities[5], std::exp(-0.04) * 0.04, 1e-12);
+  EXPECT_DOUBLE_EQ(dist.probabilities[1], 0.0);
+}
+
+TEST(Panjer, MomentsMatchClosedForm) {
+  const auto p = Portfolio::synthetic(
+      150, {{1.39, "a"}, {0.6, "b"}}, 17);
+  const double unit = default_loss_unit(p) / 4.0;
+  const auto dist = creditrisk_plus_analytic(p, unit, 4096);
+  EXPECT_NEAR(dist.captured_mass(), 1.0, 1e-6);
+  // Banding rounds exposures, so allow a percent-level tolerance.
+  EXPECT_NEAR(dist.mean() / p.expected_loss(), 1.0, 0.02);
+  EXPECT_NEAR(dist.variance() / p.analytic_loss_variance(), 1.0, 0.05);
+}
+
+TEST(Panjer, SingleGammaSectorNegativeBinomialCase) {
+  // Homogeneous obligors fully loaded on one gamma sector with unit
+  // exposure: defaults follow a negative-binomial; check the first
+  // coefficients against the closed form
+  //   G(z) = (1 − q(z−1)/ (1/...)) ... equivalently
+  //   P(0) = (1 + vμ)^(−1/v).
+  const double pd = 0.02;
+  const int n = 50;
+  const double v = 1.39;
+  std::vector<Obligor> obligors(n, Obligor{1.0, pd, {1.0}});
+  Portfolio p({{v, "s"}}, std::move(obligors));
+  const double mu = n * pd;
+  const auto dist = creditrisk_plus_analytic(p, 1.0, 512);
+  EXPECT_NEAR(dist.probabilities[0], std::pow(1.0 + v * mu, -1.0 / v),
+              1e-12);
+  // Negative binomial pmf: P(k) = C(k+α−1, k) q^k (1−q)^α with
+  // α = 1/v, q = vμ/(1+vμ).
+  const double alpha = 1.0 / v;
+  const double q = v * mu / (1.0 + v * mu);
+  double log_coeff = 0.0;  // log C(k+α−1, k) accumulated iteratively
+  for (int k = 1; k <= 8; ++k) {
+    log_coeff += std::log((alpha + k - 1.0) / k);
+    const double expected = std::exp(log_coeff + k * std::log(q) +
+                                     alpha * std::log(1.0 - q));
+    EXPECT_NEAR(dist.probabilities[static_cast<std::size_t>(k)], expected,
+                1e-10)
+        << "k=" << k;
+  }
+}
+
+TEST(Panjer, AgreesWithMonteCarlo) {
+  // The analytic recursion and the Monte-Carlo engine implement the
+  // same model through entirely different code paths: their CDFs must
+  // agree within MC error.
+  const auto p = Portfolio::synthetic(
+      120, {{1.39, "a"}, {0.5, "b"}, {2.0, "c"}}, 23);
+  const double unit = default_loss_unit(p) / 2.0;
+  const auto analytic = creditrisk_plus_analytic(p, unit, 8192);
+  ASSERT_NEAR(analytic.captured_mass(), 1.0, 1e-5);
+
+  McConfig mc;
+  mc.num_scenarios = 30'000;
+  const auto sim = simulate_losses(p, mc, sampler_gamma_source(p, 31));
+
+  EXPECT_NEAR(sim.mean() / analytic.mean(), 1.0, 0.03);
+  EXPECT_NEAR(std::sqrt(sim.variance()) / std::sqrt(analytic.variance()),
+              1.0, 0.06);
+  for (double conf : {0.9, 0.99}) {
+    EXPECT_NEAR(sim.value_at_risk(conf) / analytic.value_at_risk(conf), 1.0,
+                0.10)
+        << "confidence " << conf;
+  }
+}
+
+TEST(Panjer, VarMonotoneInConfidence) {
+  const auto p = Portfolio::synthetic(80, {{1.39, "s"}}, 41);
+  const auto dist =
+      creditrisk_plus_analytic(p, default_loss_unit(p), 4096);
+  double prev = 0.0;
+  for (double conf : {0.5, 0.9, 0.99, 0.999, 0.9999}) {
+    const double var = dist.value_at_risk(conf);
+    EXPECT_GE(var, prev);
+    prev = var;
+  }
+  EXPECT_GE(dist.expected_shortfall(0.99), dist.value_at_risk(0.99));
+}
+
+TEST(Panjer, ValidatesInputs) {
+  const auto p = idiosyncratic_only(0.01, 1.0, 3);
+  EXPECT_THROW(creditrisk_plus_analytic(p, 0.0, 64), Error);
+  EXPECT_THROW(creditrisk_plus_analytic(p, 1.0, 1), Error);
+  const auto dist = creditrisk_plus_analytic(p, 1.0, 64);
+  EXPECT_THROW(dist.value_at_risk(0.0), Error);
+}
+
+}  // namespace
+}  // namespace dwi::finance

@@ -1,0 +1,337 @@
+// Tests for the SIMT lockstep engine: executor masking/cost semantics,
+// platform model mechanisms (divergence, state spill, work-group and
+// global-size factors), functional correctness of the lockstep gamma
+// kernel, and the qualitative Table III orderings the model must
+// reproduce.
+#include <gtest/gtest.h>
+
+#include <span>
+
+#include "rng/configs.h"
+#include "simt/executor.h"
+#include "simt/gamma_kernel.h"
+#include "simt/ops.h"
+#include "simt/platform.h"
+#include "simt/runtime_estimator.h"
+#include "stats/distributions.h"
+#include "stats/ks_test.h"
+#include "stats/moments.h"
+
+namespace dwi::simt {
+namespace {
+
+OpCostTable unit_costs() {
+  OpCostTable t;
+  for (auto& s : t.slots) s = 1.0;
+  return t;
+}
+
+TEST(Executor, FullMaskWidths) {
+  LockstepPartition p8(8, unit_costs());
+  EXPECT_EQ(p8.full_mask(), 0xffu);
+  LockstepPartition p64(64, unit_costs());
+  EXPECT_EQ(p64.full_mask(), ~Mask{0});
+}
+
+TEST(Executor, RejectsBadWidth) {
+  const auto c = unit_costs();
+  EXPECT_THROW(LockstepPartition(0, c), dwi::Error);
+  EXPECT_THROW(LockstepPartition(65, c), dwi::Error);
+  EXPECT_THROW(LockstepPartition(8, c, 1.5), dwi::Error);
+}
+
+TEST(Executor, EmptyMaskSkipsRegion) {
+  LockstepPartition p(8, unit_costs());
+  int calls = 0;
+  p.region(0, p.full_mask(), OpBundle{}.add(OpClass::kIntAlu, 5),
+           [&](unsigned) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  EXPECT_DOUBLE_EQ(p.stats().issued_slots, 0.0);
+  EXPECT_EQ(p.stats().regions, 0u);
+}
+
+TEST(Executor, FullMaskChargesOnceRunsAllLanes) {
+  LockstepPartition p(8, unit_costs());
+  int calls = 0;
+  const auto ops = OpBundle{}.add(OpClass::kFloatMul, 3);
+  p.region(p.full_mask(), p.full_mask(), ops, [&](unsigned) { ++calls; });
+  EXPECT_EQ(calls, 8);
+  EXPECT_DOUBLE_EQ(p.stats().issued_slots, 3.0);
+  EXPECT_DOUBLE_EQ(p.stats().useful_slots, 24.0);
+  EXPECT_EQ(p.stats().divergent_regions, 0u);
+  EXPECT_DOUBLE_EQ(p.stats().simd_efficiency(8), 1.0);
+}
+
+TEST(Executor, DivergentRegionPredicationCost) {
+  // scalarization 0 (GPU): a divergent region still costs the full
+  // bundle once — the idle lanes are pure waste (Fig 2b).
+  LockstepPartition p(8, unit_costs(), 0.0);
+  const auto ops = OpBundle{}.add(OpClass::kLog, 2);
+  p.region(0b0000'0011, p.full_mask(), ops, [](unsigned) {});
+  EXPECT_DOUBLE_EQ(p.stats().issued_slots, 2.0);
+  EXPECT_DOUBLE_EQ(p.stats().useful_slots, 4.0);  // 2 slots × 2 lanes
+  EXPECT_EQ(p.stats().divergent_regions, 1u);
+  EXPECT_DOUBLE_EQ(p.stats().simd_efficiency(8), 4.0 / 16.0);
+}
+
+TEST(Executor, DivergentRegionScalarizationCost) {
+  // scalarization 1 (CPU): a divergent region serializes per active
+  // lane: cost × active_lanes.
+  LockstepPartition p(8, unit_costs(), 1.0);
+  const auto ops = OpBundle{}.add(OpClass::kLog, 2);
+  p.region(0b0000'0111, p.full_mask(), ops, [](unsigned) {});
+  EXPECT_DOUBLE_EQ(p.stats().issued_slots, 2.0 * 3.0);
+}
+
+TEST(Executor, PartialScalarizationInterpolates) {
+  LockstepPartition p(8, unit_costs(), 0.5);
+  const auto ops = OpBundle{}.add(OpClass::kSqrt, 4);
+  p.region(0b0000'1111, p.full_mask(), ops, [](unsigned) {});
+  // 4 × (0.5 + 0.5·4) = 10
+  EXPECT_DOUBLE_EQ(p.stats().issued_slots, 10.0);
+}
+
+TEST(Executor, NonDivergentSubsetOfParent) {
+  // mask == parent (even if not all lanes) is NOT divergent: the
+  // enclosing flow already narrowed.
+  LockstepPartition p(8, unit_costs(), 1.0);
+  const auto ops = OpBundle{}.add(OpClass::kIntAlu, 1);
+  p.region(0b0011, 0b0011, ops, [](unsigned) {});
+  EXPECT_EQ(p.stats().divergent_regions, 0u);
+  EXPECT_DOUBLE_EQ(p.stats().issued_slots, 1.0);
+}
+
+TEST(OpBundle, AdditionAndCost) {
+  OpBundle a = OpBundle{}.add(OpClass::kLog, 2).add(OpClass::kIntAlu, 3);
+  OpBundle b = OpBundle{}.add(OpClass::kLog, 1);
+  OpBundle c = a + b;
+  EXPECT_EQ(c.count(OpClass::kLog), 3u);
+  EXPECT_EQ(c.count(OpClass::kIntAlu), 3u);
+  OpCostTable t;
+  t.slots[static_cast<std::size_t>(OpClass::kLog)] = 10.0;
+  t.slots[static_cast<std::size_t>(OpClass::kIntAlu)] = 1.0;
+  EXPECT_DOUBLE_EQ(t.cost(c), 33.0);
+}
+
+TEST(Platform, GeometryMatchesPaper) {
+  EXPECT_EQ(cpu_haswell().width, 8u);
+  EXPECT_EQ(gpu_tesla_k80().width, 32u);
+  EXPECT_EQ(phi_7120p().width, 16u);
+  EXPECT_DOUBLE_EQ(cpu_haswell().clock_hz, 2.3e9);
+  EXPECT_DOUBLE_EQ(gpu_tesla_k80().clock_hz, 0.56e9);
+  EXPECT_DOUBLE_EQ(phi_7120p().clock_hz, 1.238e9);
+  EXPECT_EQ(paper_optimal_local_size(PlatformId::kCpu), 8u);
+  EXPECT_EQ(paper_optimal_local_size(PlatformId::kGpu), 64u);
+  EXPECT_EQ(paper_optimal_local_size(PlatformId::kPhi), 16u);
+}
+
+TEST(Platform, MtSpillOnlyAboveThreshold) {
+  const auto& gpu = gpu_tesla_k80();
+  const auto small = gpu.mt_step_bundle(272);     // Config2: 4×17×4 B
+  const auto large = gpu.mt_step_bundle(9984);    // Config1: 4×624×4 B
+  EXPECT_EQ(small.count(OpClass::kStateSpill), 0u);
+  EXPECT_EQ(large.count(OpClass::kStateSpill), 1u);
+  // The CPU's caches absorb even the large state (Table III: CPU is
+  // insensitive to the MT period).
+  const auto& cpu = cpu_haswell();
+  EXPECT_EQ(cpu.mt_step_bundle(9984).count(OpClass::kStateSpill), 0u);
+}
+
+TEST(Platform, WorkGroupFactorHasPaperOptimum) {
+  // Fig 5a: the optimum localSize must be 8 / 64 / 16 on CPU / GPU /
+  // PHI among the power-of-two sweep the paper plots.
+  for (const PlatformModel* p :
+       {&cpu_haswell(), &gpu_tesla_k80(), &phi_7120p()}) {
+    const std::uint64_t state = 9984;  // Config1
+    unsigned best = 0;
+    double best_f = 1e300;
+    for (unsigned l = 1; l <= 512; l *= 2) {
+      const double f = p->work_group_factor(l, state);
+      if (f < best_f) {
+        best_f = f;
+        best = l;
+      }
+    }
+    EXPECT_EQ(best, paper_optimal_local_size(p->id)) << p->name;
+  }
+}
+
+TEST(Platform, WorkGroupFactorPenalizesUnderfill) {
+  const auto& cpu = cpu_haswell();
+  EXPECT_GT(cpu.work_group_factor(1, 272), cpu.work_group_factor(8, 272));
+}
+
+TEST(Platform, GlobalSizeFactorUShape) {
+  // Fig 5b: small global sizes underutilize, very large ones pay
+  // per-work-item seeding; 65536 must be (near-)optimal.
+  const auto& gpu = gpu_tesla_k80();
+  const double init = 60000.0;  // ~ MT19937 ×4 seeding cost
+  const double work = 5e9;
+  const double f_small = gpu.global_size_factor(1024, init, work);
+  const double f_opt = gpu.global_size_factor(65536, init, work);
+  const double f_large = gpu.global_size_factor(1u << 20, init, work);
+  EXPECT_GT(f_small, f_opt);
+  EXPECT_GT(f_large, f_opt);
+}
+
+TEST(GammaKernel, ProducesExactQuota) {
+  const auto& cfg = rng::config(rng::ConfigId::kConfig2);
+  const auto r = run_gamma_partition(cpu_haswell(), cfg,
+                                     rng::NormalTransform::kMarsagliaBray,
+                                     1.39f, 100, 7u);
+  EXPECT_EQ(r.outputs.size(), 8u * 100u);
+  EXPECT_EQ(r.accepted, 800u);
+  EXPECT_GT(r.attempts, r.accepted);
+}
+
+TEST(GammaKernel, OutputDistributionIsGamma) {
+  const auto& cfg = rng::config(rng::ConfigId::kConfig2);
+  std::vector<float> all;
+  for (std::uint32_t s = 0; s < 12; ++s) {
+    const auto r = run_gamma_partition(gpu_tesla_k80(), cfg,
+                                       rng::NormalTransform::kMarsagliaBray,
+                                       1.39f, 250, 1000 + s);
+    all.insert(all.end(), r.outputs.begin(), r.outputs.end());
+  }
+  const auto g = stats::GammaParams::from_sector_variance(1.39);
+  const auto ks = stats::ks_test(
+      std::span<const float>(all),
+      [&](double x) { return stats::gamma_cdf(x, g.shape, g.scale); });
+  EXPECT_GT(ks.p_value, 1e-4) << "KS D=" << ks.statistic;
+}
+
+TEST(GammaKernel, RejectionRatesOrdered) {
+  // §IV-E: ICDF configs reject far less than MB configs.
+  const auto mb = run_gamma_partition(
+      phi_7120p(), rng::config(rng::ConfigId::kConfig1),
+      rng::NormalTransform::kMarsagliaBray, 1.39f, 400, 3u);
+  const auto icdf = run_gamma_partition(
+      phi_7120p(), rng::config(rng::ConfigId::kConfig3),
+      rng::NormalTransform::kIcdfCuda, 1.39f, 400, 3u);
+  EXPECT_GT(mb.rejection_rate(), 0.18);
+  EXPECT_LT(icdf.rejection_rate(), 0.10);
+}
+
+TEST(GammaKernel, WiderPartitionsLoseMoreToDivergence) {
+  // Fig 2's core claim: with everything else equal, SIMD efficiency
+  // falls as the hardware partition gets wider — wider groups are more
+  // likely to contain at least one lane on the rare branch side, so the
+  // partition issues both sides more often.
+  const auto& cfg = rng::config(rng::ConfigId::kConfig2);
+  PlatformModel narrow_model = gpu_tesla_k80();
+  narrow_model.width = 4;
+  PlatformModel wide_model = gpu_tesla_k80();
+  wide_model.width = 64;
+  const auto narrow = run_gamma_partition(
+      narrow_model, cfg, rng::NormalTransform::kMarsagliaBray, 1.39f,
+      300, 5u);
+  const auto wide = run_gamma_partition(
+      wide_model, cfg, rng::NormalTransform::kMarsagliaBray, 1.39f,
+      300, 5u);
+  EXPECT_LT(wide.stats.simd_efficiency(64),
+            narrow.stats.simd_efficiency(4));
+}
+
+TEST(RuntimeEstimator, TableIiiOrderings) {
+  // The qualitative Table III relations the model must reproduce:
+  NdRangeWorkload w;
+  auto ms = [&](PlatformId pid, rng::ConfigId cid,
+                rng::NormalTransform t) {
+    return estimate_runtime(platform(pid), rng::config(cid), t, w)
+               .seconds * 1e3;
+  };
+  using rng::ConfigId;
+  using rng::NormalTransform;
+
+  // CPU is insensitive to the MT period...
+  const double cpu1 = ms(PlatformId::kCpu, ConfigId::kConfig1,
+                         NormalTransform::kMarsagliaBray);
+  const double cpu2 = ms(PlatformId::kCpu, ConfigId::kConfig2,
+                         NormalTransform::kMarsagliaBray);
+  EXPECT_NEAR(cpu1 / cpu2, 1.0, 0.05);
+  // ...but GPU speeds up ~2x with the small-state twister.
+  const double gpu1 = ms(PlatformId::kGpu, ConfigId::kConfig1,
+                         NormalTransform::kMarsagliaBray);
+  const double gpu2 = ms(PlatformId::kGpu, ConfigId::kConfig2,
+                         NormalTransform::kMarsagliaBray);
+  EXPECT_GT(gpu1 / gpu2, 1.7);
+
+  // ICDF CUDA-style beats Marsaglia-Bray on the CPU by a wide margin.
+  const double cpu3 = ms(PlatformId::kCpu, ConfigId::kConfig3,
+                         NormalTransform::kIcdfCuda);
+  EXPECT_GT(cpu1 / cpu3, 2.5);
+
+  // FPGA-style bitwise ICDF is much slower than CUDA-style on CPU and
+  // PHI but about the same on GPU (Table III footnote 1).
+  const double cpu3f = ms(PlatformId::kCpu, ConfigId::kConfig3,
+                          NormalTransform::kIcdfBitwise);
+  EXPECT_GT(cpu3f / cpu3, 2.0);
+  const double phi3 = ms(PlatformId::kPhi, ConfigId::kConfig3,
+                         NormalTransform::kIcdfCuda);
+  const double phi3f = ms(PlatformId::kPhi, ConfigId::kConfig3,
+                          NormalTransform::kIcdfBitwise);
+  EXPECT_GT(phi3f / phi3, 2.5);
+  const double gpu3 = ms(PlatformId::kGpu, ConfigId::kConfig3,
+                         NormalTransform::kIcdfCuda);
+  const double gpu3f = ms(PlatformId::kGpu, ConfigId::kConfig3,
+                          NormalTransform::kIcdfBitwise);
+  EXPECT_NEAR(gpu3f / gpu3, 1.0, 0.15);
+
+  // PHI beats CPU and GPU in every configuration (Table III).
+  for (auto cid : {ConfigId::kConfig1, ConfigId::kConfig2}) {
+    const double phi = ms(PlatformId::kPhi, cid,
+                          NormalTransform::kMarsagliaBray);
+    EXPECT_LT(phi, ms(PlatformId::kCpu, cid,
+                      NormalTransform::kMarsagliaBray));
+    EXPECT_LT(phi, ms(PlatformId::kGpu, cid,
+                      NormalTransform::kMarsagliaBray));
+  }
+}
+
+TEST(RuntimeEstimator, AbsoluteValuesWithinBand) {
+  // Calibration regression guard: each fixed-architecture Table III
+  // cell must stay within ±35 % of the paper's value (EXPERIMENTS.md
+  // records the exact achieved deviations).
+  NdRangeWorkload w;
+  struct Cell {
+    PlatformId pid;
+    rng::ConfigId cid;
+    rng::NormalTransform t;
+    double paper_ms;
+  };
+  using rng::ConfigId;
+  using rng::NormalTransform;
+  const Cell cells[] = {
+      {PlatformId::kCpu, ConfigId::kConfig1, NormalTransform::kMarsagliaBray, 3825},
+      {PlatformId::kGpu, ConfigId::kConfig1, NormalTransform::kMarsagliaBray, 2479},
+      {PlatformId::kPhi, ConfigId::kConfig1, NormalTransform::kMarsagliaBray, 996},
+      {PlatformId::kCpu, ConfigId::kConfig2, NormalTransform::kMarsagliaBray, 3883},
+      {PlatformId::kGpu, ConfigId::kConfig2, NormalTransform::kMarsagliaBray, 1011},
+      {PlatformId::kPhi, ConfigId::kConfig2, NormalTransform::kMarsagliaBray, 696},
+      {PlatformId::kCpu, ConfigId::kConfig3, NormalTransform::kIcdfCuda, 807},
+      {PlatformId::kGpu, ConfigId::kConfig3, NormalTransform::kIcdfCuda, 1177},
+      {PlatformId::kPhi, ConfigId::kConfig3, NormalTransform::kIcdfCuda, 555},
+      {PlatformId::kCpu, ConfigId::kConfig4, NormalTransform::kIcdfCuda, 839},
+      {PlatformId::kGpu, ConfigId::kConfig4, NormalTransform::kIcdfCuda, 522},
+      {PlatformId::kPhi, ConfigId::kConfig4, NormalTransform::kIcdfCuda, 460},
+  };
+  for (const auto& c : cells) {
+    const double ms =
+        estimate_runtime(platform(c.pid), rng::config(c.cid), c.t, w)
+            .seconds * 1e3;
+    EXPECT_NEAR(ms / c.paper_ms, 1.0, 0.35)
+        << to_string(c.pid) << " " << rng::config(c.cid).name;
+  }
+}
+
+TEST(RuntimeEstimator, ValidatesWorkload) {
+  NdRangeWorkload w;
+  w.global_size = 4;  // below one partition
+  EXPECT_THROW(estimate_runtime(gpu_tesla_k80(),
+                                rng::config(rng::ConfigId::kConfig1),
+                                rng::NormalTransform::kMarsagliaBray, w),
+               dwi::Error);
+}
+
+}  // namespace
+}  // namespace dwi::simt

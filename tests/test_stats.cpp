@@ -1,0 +1,247 @@
+// Unit + property tests for src/stats: special functions against known
+// values, distributions against analytic identities, histogram/moments
+// bookkeeping, and the KS/chi-square machinery calibrated on samples it
+// must accept and samples it must reject.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+#include "stats/chi_square.h"
+#include "stats/distributions.h"
+#include "stats/histogram.h"
+#include "stats/ks_test.h"
+#include "stats/moments.h"
+#include "stats/special.h"
+
+namespace dwi::stats {
+namespace {
+
+TEST(Special, GammaPKnownValues) {
+  // P(1, x) = 1 - exp(-x).
+  for (double x : {0.1, 0.5, 1.0, 2.0, 10.0}) {
+    EXPECT_NEAR(gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+  // P(0.5, x) = erf(sqrt(x)).
+  for (double x : {0.25, 1.0, 4.0}) {
+    EXPECT_NEAR(gamma_p(0.5, x), std::erf(std::sqrt(x)), 1e-12);
+  }
+}
+
+TEST(Special, GammaPComplement) {
+  for (double a : {0.3, 1.0, 2.5, 10.0}) {
+    for (double x : {0.01, 0.5, 1.0, 3.0, 20.0}) {
+      EXPECT_NEAR(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(Special, GammaPMonotone) {
+  double prev = 0.0;
+  for (double x = 0.0; x < 10.0; x += 0.1) {
+    const double p = gamma_p(2.0, x);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(Special, InverseNormalCdfRoundTrip) {
+  for (double p : {1e-10, 1e-5, 0.01, 0.02425, 0.3, 0.5, 0.7, 0.97575, 0.99,
+                   1.0 - 1e-5}) {
+    const double x = inverse_normal_cdf(p);
+    EXPECT_NEAR(normal_cdf(x), p, 1e-12 + 1e-9 * p);
+  }
+}
+
+TEST(Special, InverseNormalCdfKnownQuantiles) {
+  EXPECT_NEAR(inverse_normal_cdf(0.5), 0.0, 1e-14);
+  EXPECT_NEAR(inverse_normal_cdf(0.975), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(inverse_normal_cdf(0.025), -1.959963984540054, 1e-9);
+  EXPECT_NEAR(inverse_normal_cdf(0.8413447460685429), 1.0, 1e-9);
+}
+
+TEST(Special, InverseNormalCdfRejectsOutOfDomain) {
+  EXPECT_THROW(inverse_normal_cdf(0.0), Error);
+  EXPECT_THROW(inverse_normal_cdf(1.0), Error);
+}
+
+TEST(Special, ErfInvIdentity) {
+  for (double x : {-0.99, -0.5, -0.1, 0.1, 0.5, 0.9, 0.999}) {
+    EXPECT_NEAR(std::erf(erf_inv(x)), x, 1e-11);
+  }
+  EXPECT_NEAR(erf_inv(0.0), 0.0, 1e-14);
+}
+
+TEST(Special, ErfcInvIdentity) {
+  for (double x : {0.01, 0.5, 1.0, 1.5, 1.99}) {
+    EXPECT_NEAR(std::erfc(erfc_inv(x)), x, 1e-10);
+  }
+}
+
+TEST(Special, KolmogorovQLimits) {
+  EXPECT_DOUBLE_EQ(kolmogorov_q(0.0), 1.0);
+  EXPECT_NEAR(kolmogorov_q(10.0), 0.0, 1e-12);
+  // Known point: Q(1.0) ≈ 0.26999967.
+  EXPECT_NEAR(kolmogorov_q(1.0), 0.26999967, 1e-6);
+  // Monotone decreasing.
+  double prev = 1.0;
+  for (double l = 0.1; l < 3.0; l += 0.1) {
+    const double q = kolmogorov_q(l);
+    EXPECT_LE(q, prev + 1e-12);
+    prev = q;
+  }
+}
+
+TEST(Distributions, NormalPdfCdfConsistency) {
+  // d/dx CDF == PDF (finite differences).
+  for (double x : {-2.0, -0.5, 0.0, 0.7, 2.5}) {
+    const double h = 1e-6;
+    const double deriv = (normal_cdf(x + h) - normal_cdf(x - h)) / (2 * h);
+    EXPECT_NEAR(deriv, normal_pdf(x), 1e-8);
+  }
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-15);
+}
+
+TEST(Distributions, GammaPdfIntegratesToCdf) {
+  // Trapezoid integration of the PDF matches the CDF.
+  const double shape = 2.3;
+  const double scale = 0.8;
+  double acc = 0.0;
+  const double h = 1e-3;
+  for (double x = h; x <= 5.0; x += h) {
+    acc += 0.5 * h * (gamma_pdf(x - h, shape, scale) + gamma_pdf(x, shape, scale));
+    if (std::fabs(x - 2.0) < h / 2) {
+      EXPECT_NEAR(acc, gamma_cdf(2.0, shape, scale), 1e-5);
+    }
+  }
+}
+
+TEST(Distributions, GammaQuantileInvertsCdf) {
+  for (double p : {0.01, 0.25, 0.5, 0.9, 0.999}) {
+    for (double shape : {0.5, 1.0, 3.0}) {
+      const double x = gamma_quantile(p, shape, 1.39);
+      EXPECT_NEAR(gamma_cdf(x, shape, 1.39), p, 1e-9);
+    }
+  }
+}
+
+TEST(Distributions, SectorParameterization) {
+  // §II-D4: E(S) = 1, Var(S) = v for every sector variance v.
+  for (double v : {0.1, 0.3, 1.39, 100.0}) {
+    const auto g = GammaParams::from_sector_variance(v);
+    EXPECT_DOUBLE_EQ(g.mean(), 1.0);
+    EXPECT_NEAR(g.variance(), v, 1e-12);
+  }
+}
+
+TEST(Histogram, CountsAndDensity) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(0.5);  // all in bin 0
+  h.add(-1.0);
+  h.add(11.0);
+  EXPECT_EQ(h.count(0), 100u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 102u);
+  EXPECT_NEAR(h.density(0), 100.0 / (102.0 * 1.0), 1e-12);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_NEAR(h.bin_center(0), 0.125, 1e-12);
+  EXPECT_NEAR(h.bin_center(3), 0.875, 1e-12);
+}
+
+TEST(Histogram, UpperEdgeGoesToOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(1.0);
+  EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Moments, MatchesClosedForm) {
+  RunningMoments m;
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  m.add(std::span<const double>(xs));
+  EXPECT_DOUBLE_EQ(m.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 2.5);
+  EXPECT_DOUBLE_EQ(m.min(), 1.0);
+  EXPECT_DOUBLE_EQ(m.max(), 5.0);
+  EXPECT_NEAR(m.skewness(), 0.0, 1e-12);
+}
+
+TEST(Moments, NormalSampleMoments) {
+  std::mt19937_64 eng(7);
+  std::normal_distribution<double> nd(2.0, 3.0);
+  RunningMoments m;
+  for (int i = 0; i < 200000; ++i) m.add(nd(eng));
+  EXPECT_NEAR(m.mean(), 2.0, 0.05);
+  EXPECT_NEAR(m.stddev(), 3.0, 0.05);
+  EXPECT_NEAR(m.skewness(), 0.0, 0.05);
+  EXPECT_NEAR(m.excess_kurtosis(), 0.0, 0.1);
+}
+
+TEST(Moments, MergeEqualsSequential) {
+  std::mt19937_64 eng(13);
+  std::uniform_real_distribution<double> ud(0.0, 1.0);
+  RunningMoments all;
+  RunningMoments a;
+  RunningMoments b;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = ud(eng);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_NEAR(a.skewness(), all.skewness(), 1e-8);
+  EXPECT_NEAR(a.excess_kurtosis(), all.excess_kurtosis(), 1e-8);
+}
+
+TEST(KsTest, AcceptsMatchingDistribution) {
+  std::mt19937_64 eng(21);
+  std::uniform_real_distribution<double> ud(0.0, 1.0);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = ud(eng);
+  const auto r = ks_test(std::span<const double>(xs),
+                         [](double x) { return x < 0 ? 0.0 : (x > 1 ? 1.0 : x); });
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(KsTest, RejectsWrongDistribution) {
+  std::mt19937_64 eng(22);
+  std::normal_distribution<double> nd(0.3, 1.0);  // shifted
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = nd(eng);
+  const auto r =
+      ks_test(std::span<const double>(xs), [](double x) { return normal_cdf(x); });
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(ChiSquare, AcceptsMatchingGamma) {
+  GammaParams g = GammaParams::from_sector_variance(1.39);
+  std::mt19937_64 eng(31);
+  std::gamma_distribution<double> gd(g.shape, g.scale);
+  Histogram h(0.0, 12.0, 64);
+  for (int i = 0; i < 100000; ++i) h.add(gd(eng));
+  const auto r = chi_square_test(
+      h, [&](double x) { return gamma_cdf(x, g.shape, g.scale); });
+  EXPECT_GT(r.p_value, 1e-3) << "X2=" << r.statistic << " dof=" << r.dof;
+}
+
+TEST(ChiSquare, RejectsWrongGamma) {
+  std::mt19937_64 eng(32);
+  std::gamma_distribution<double> gd(2.0, 1.0);
+  Histogram h(0.0, 12.0, 64);
+  for (int i = 0; i < 100000; ++i) h.add(gd(eng));
+  const auto r = chi_square_test(
+      h, [&](double x) { return gamma_cdf(x, 1.0, 2.0); });  // same mean
+  EXPECT_LT(r.p_value, 1e-10);
+}
+
+}  // namespace
+}  // namespace dwi::stats
