@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_buffers"
+  "../bench/ablation_buffers.pdb"
+  "CMakeFiles/ablation_buffers.dir/ablation_buffers.cpp.o"
+  "CMakeFiles/ablation_buffers.dir/ablation_buffers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

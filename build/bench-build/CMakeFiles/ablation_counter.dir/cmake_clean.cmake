@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_counter"
+  "../bench/ablation_counter.pdb"
+  "CMakeFiles/ablation_counter.dir/ablation_counter.cpp.o"
+  "CMakeFiles/ablation_counter.dir/ablation_counter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_decoupling.cpp" "bench-build/CMakeFiles/ablation_decoupling.dir/ablation_decoupling.cpp.o" "gcc" "bench-build/CMakeFiles/ablation_decoupling.dir/ablation_decoupling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dwi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/dwi_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/dwi_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/dwi_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/dwi_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dwi_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dwi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_decoupling"
+  "../bench/ablation_decoupling.pdb"
+  "CMakeFiles/ablation_decoupling.dir/ablation_decoupling.cpp.o"
+  "CMakeFiles/ablation_decoupling.dir/ablation_decoupling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_decoupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_stream_depth"
+  "../bench/ablation_stream_depth.pdb"
+  "CMakeFiles/ablation_stream_depth.dir/ablation_stream_depth.cpp.o"
+  "CMakeFiles/ablation_stream_depth.dir/ablation_stream_depth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stream_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_transforms"
+  "../bench/ablation_transforms.pdb"
+  "CMakeFiles/ablation_transforms.dir/ablation_transforms.cpp.o"
+  "CMakeFiles/ablation_transforms.dir/ablation_transforms.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_scaling"
+  "../bench/extension_scaling.pdb"
+  "CMakeFiles/extension_scaling.dir/extension_scaling.cpp.o"
+  "CMakeFiles/extension_scaling.dir/extension_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

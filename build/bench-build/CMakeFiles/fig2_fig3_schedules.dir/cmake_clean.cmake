@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_fig3_schedules"
+  "../bench/fig2_fig3_schedules.pdb"
+  "CMakeFiles/fig2_fig3_schedules.dir/fig2_fig3_schedules.cpp.o"
+  "CMakeFiles/fig2_fig3_schedules.dir/fig2_fig3_schedules.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_fig3_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_worksizes"
+  "../bench/fig5_worksizes.pdb"
+  "CMakeFiles/fig5_worksizes.dir/fig5_worksizes.cpp.o"
+  "CMakeFiles/fig5_worksizes.dir/fig5_worksizes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_worksizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_transfers"
+  "../bench/fig7_transfers.pdb"
+  "CMakeFiles/fig7_transfers.dir/fig7_transfers.cpp.o"
+  "CMakeFiles/fig7_transfers.dir/fig7_transfers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_transfers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_power_trace"
+  "../bench/fig8_power_trace.pdb"
+  "CMakeFiles/fig8_power_trace.dir/fig8_power_trace.cpp.o"
+  "CMakeFiles/fig8_power_trace.dir/fig8_power_trace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_power_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

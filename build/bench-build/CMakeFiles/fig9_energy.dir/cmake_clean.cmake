@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_energy"
+  "../bench/fig9_energy.pdb"
+  "CMakeFiles/fig9_energy.dir/fig9_energy.cpp.o"
+  "CMakeFiles/fig9_energy.dir/fig9_energy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

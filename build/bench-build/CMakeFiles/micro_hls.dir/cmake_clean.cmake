@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_hls"
+  "../bench/micro_hls.pdb"
+  "CMakeFiles/micro_hls.dir/micro_hls.cpp.o"
+  "CMakeFiles/micro_hls.dir/micro_hls.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_rng"
+  "../bench/micro_rng.pdb"
+  "CMakeFiles/micro_rng.dir/micro_rng.cpp.o"
+  "CMakeFiles/micro_rng.dir/micro_rng.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/credit_risk_plus"
+  "../examples/credit_risk_plus.pdb"
+  "CMakeFiles/credit_risk_plus.dir/credit_risk_plus.cpp.o"
+  "CMakeFiles/credit_risk_plus.dir/credit_risk_plus.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/credit_risk_plus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for credit_risk_plus.
+# This may be replaced when dependencies are built.

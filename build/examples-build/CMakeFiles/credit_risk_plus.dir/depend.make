@@ -1,0 +1,2 @@
+# Empty dependencies file for credit_risk_plus.
+# This may be replaced when dependencies are built.

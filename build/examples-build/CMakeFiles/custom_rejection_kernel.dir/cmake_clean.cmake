@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/custom_rejection_kernel"
+  "../examples/custom_rejection_kernel.pdb"
+  "CMakeFiles/custom_rejection_kernel.dir/custom_rejection_kernel.cpp.o"
+  "CMakeFiles/custom_rejection_kernel.dir/custom_rejection_kernel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_rejection_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

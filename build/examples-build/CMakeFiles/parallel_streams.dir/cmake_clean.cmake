@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/parallel_streams"
+  "../examples/parallel_streams.pdb"
+  "CMakeFiles/parallel_streams.dir/parallel_streams.cpp.o"
+  "CMakeFiles/parallel_streams.dir/parallel_streams.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/platform_comparison"
+  "../examples/platform_comparison.pdb"
+  "CMakeFiles/platform_comparison.dir/platform_comparison.cpp.o"
+  "CMakeFiles/platform_comparison.dir/platform_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

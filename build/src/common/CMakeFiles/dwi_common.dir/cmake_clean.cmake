@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwi_common.dir/error.cpp.o"
+  "CMakeFiles/dwi_common.dir/error.cpp.o.d"
+  "CMakeFiles/dwi_common.dir/table.cpp.o"
+  "CMakeFiles/dwi_common.dir/table.cpp.o.d"
+  "libdwi_common.a"
+  "libdwi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/decoupled_work_items.cpp" "src/core/CMakeFiles/dwi_core.dir/decoupled_work_items.cpp.o" "gcc" "src/core/CMakeFiles/dwi_core.dir/decoupled_work_items.cpp.o.d"
+  "/root/repo/src/core/delayed_counter.cpp" "src/core/CMakeFiles/dwi_core.dir/delayed_counter.cpp.o" "gcc" "src/core/CMakeFiles/dwi_core.dir/delayed_counter.cpp.o.d"
+  "/root/repo/src/core/fpga_app.cpp" "src/core/CMakeFiles/dwi_core.dir/fpga_app.cpp.o" "gcc" "src/core/CMakeFiles/dwi_core.dir/fpga_app.cpp.o.d"
+  "/root/repo/src/core/gamma_work_item.cpp" "src/core/CMakeFiles/dwi_core.dir/gamma_work_item.cpp.o" "gcc" "src/core/CMakeFiles/dwi_core.dir/gamma_work_item.cpp.o.d"
+  "/root/repo/src/core/transfer_unit.cpp" "src/core/CMakeFiles/dwi_core.dir/transfer_unit.cpp.o" "gcc" "src/core/CMakeFiles/dwi_core.dir/transfer_unit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dwi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/dwi_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/dwi_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/dwi_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dwi_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

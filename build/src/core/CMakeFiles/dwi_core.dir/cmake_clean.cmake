@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwi_core.dir/decoupled_work_items.cpp.o"
+  "CMakeFiles/dwi_core.dir/decoupled_work_items.cpp.o.d"
+  "CMakeFiles/dwi_core.dir/delayed_counter.cpp.o"
+  "CMakeFiles/dwi_core.dir/delayed_counter.cpp.o.d"
+  "CMakeFiles/dwi_core.dir/fpga_app.cpp.o"
+  "CMakeFiles/dwi_core.dir/fpga_app.cpp.o.d"
+  "CMakeFiles/dwi_core.dir/gamma_work_item.cpp.o"
+  "CMakeFiles/dwi_core.dir/gamma_work_item.cpp.o.d"
+  "CMakeFiles/dwi_core.dir/transfer_unit.cpp.o"
+  "CMakeFiles/dwi_core.dir/transfer_unit.cpp.o.d"
+  "libdwi_core.a"
+  "libdwi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwi_finance.dir/contributions.cpp.o"
+  "CMakeFiles/dwi_finance.dir/contributions.cpp.o.d"
+  "CMakeFiles/dwi_finance.dir/creditrisk_plus.cpp.o"
+  "CMakeFiles/dwi_finance.dir/creditrisk_plus.cpp.o.d"
+  "CMakeFiles/dwi_finance.dir/panjer.cpp.o"
+  "CMakeFiles/dwi_finance.dir/panjer.cpp.o.d"
+  "CMakeFiles/dwi_finance.dir/portfolio.cpp.o"
+  "CMakeFiles/dwi_finance.dir/portfolio.cpp.o.d"
+  "libdwi_finance.a"
+  "libdwi_finance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwi_finance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdwi_finance.a"
+)

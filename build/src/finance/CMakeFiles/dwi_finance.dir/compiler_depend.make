@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dwi_finance.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpga/device.cpp" "src/fpga/CMakeFiles/dwi_fpga.dir/device.cpp.o" "gcc" "src/fpga/CMakeFiles/dwi_fpga.dir/device.cpp.o.d"
+  "/root/repo/src/fpga/kernel_sim.cpp" "src/fpga/CMakeFiles/dwi_fpga.dir/kernel_sim.cpp.o" "gcc" "src/fpga/CMakeFiles/dwi_fpga.dir/kernel_sim.cpp.o.d"
+  "/root/repo/src/fpga/memory_channel.cpp" "src/fpga/CMakeFiles/dwi_fpga.dir/memory_channel.cpp.o" "gcc" "src/fpga/CMakeFiles/dwi_fpga.dir/memory_channel.cpp.o.d"
+  "/root/repo/src/fpga/resource_model.cpp" "src/fpga/CMakeFiles/dwi_fpga.dir/resource_model.cpp.o" "gcc" "src/fpga/CMakeFiles/dwi_fpga.dir/resource_model.cpp.o.d"
+  "/root/repo/src/fpga/scheduler.cpp" "src/fpga/CMakeFiles/dwi_fpga.dir/scheduler.cpp.o" "gcc" "src/fpga/CMakeFiles/dwi_fpga.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dwi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/dwi_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/dwi_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dwi_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

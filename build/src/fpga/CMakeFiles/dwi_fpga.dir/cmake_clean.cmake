@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwi_fpga.dir/device.cpp.o"
+  "CMakeFiles/dwi_fpga.dir/device.cpp.o.d"
+  "CMakeFiles/dwi_fpga.dir/kernel_sim.cpp.o"
+  "CMakeFiles/dwi_fpga.dir/kernel_sim.cpp.o.d"
+  "CMakeFiles/dwi_fpga.dir/memory_channel.cpp.o"
+  "CMakeFiles/dwi_fpga.dir/memory_channel.cpp.o.d"
+  "CMakeFiles/dwi_fpga.dir/resource_model.cpp.o"
+  "CMakeFiles/dwi_fpga.dir/resource_model.cpp.o.d"
+  "CMakeFiles/dwi_fpga.dir/scheduler.cpp.o"
+  "CMakeFiles/dwi_fpga.dir/scheduler.cpp.o.d"
+  "libdwi_fpga.a"
+  "libdwi_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwi_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwi_hls.dir/pragmas.cpp.o"
+  "CMakeFiles/dwi_hls.dir/pragmas.cpp.o.d"
+  "libdwi_hls.a"
+  "libdwi_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwi_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

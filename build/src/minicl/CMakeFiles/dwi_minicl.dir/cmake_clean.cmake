@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwi_minicl.dir/context.cpp.o"
+  "CMakeFiles/dwi_minicl.dir/context.cpp.o.d"
+  "CMakeFiles/dwi_minicl.dir/devices.cpp.o"
+  "CMakeFiles/dwi_minicl.dir/devices.cpp.o.d"
+  "CMakeFiles/dwi_minicl.dir/program.cpp.o"
+  "CMakeFiles/dwi_minicl.dir/program.cpp.o.d"
+  "CMakeFiles/dwi_minicl.dir/runtime.cpp.o"
+  "CMakeFiles/dwi_minicl.dir/runtime.cpp.o.d"
+  "libdwi_minicl.a"
+  "libdwi_minicl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwi_minicl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwi_power.dir/energy_protocol.cpp.o"
+  "CMakeFiles/dwi_power.dir/energy_protocol.cpp.o.d"
+  "CMakeFiles/dwi_power.dir/trace.cpp.o"
+  "CMakeFiles/dwi_power.dir/trace.cpp.o.d"
+  "libdwi_power.a"
+  "libdwi_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwi_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

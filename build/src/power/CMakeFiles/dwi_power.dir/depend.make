@@ -1,0 +1,2 @@
+# Empty dependencies file for dwi_power.
+# This may be replaced when dependencies are built.

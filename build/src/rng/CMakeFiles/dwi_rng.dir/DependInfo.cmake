@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rng/configs.cpp" "src/rng/CMakeFiles/dwi_rng.dir/configs.cpp.o" "gcc" "src/rng/CMakeFiles/dwi_rng.dir/configs.cpp.o.d"
+  "/root/repo/src/rng/dcmt.cpp" "src/rng/CMakeFiles/dwi_rng.dir/dcmt.cpp.o" "gcc" "src/rng/CMakeFiles/dwi_rng.dir/dcmt.cpp.o.d"
+  "/root/repo/src/rng/erfinv.cpp" "src/rng/CMakeFiles/dwi_rng.dir/erfinv.cpp.o" "gcc" "src/rng/CMakeFiles/dwi_rng.dir/erfinv.cpp.o.d"
+  "/root/repo/src/rng/gamma.cpp" "src/rng/CMakeFiles/dwi_rng.dir/gamma.cpp.o" "gcc" "src/rng/CMakeFiles/dwi_rng.dir/gamma.cpp.o.d"
+  "/root/repo/src/rng/icdf_bitwise.cpp" "src/rng/CMakeFiles/dwi_rng.dir/icdf_bitwise.cpp.o" "gcc" "src/rng/CMakeFiles/dwi_rng.dir/icdf_bitwise.cpp.o.d"
+  "/root/repo/src/rng/jump.cpp" "src/rng/CMakeFiles/dwi_rng.dir/jump.cpp.o" "gcc" "src/rng/CMakeFiles/dwi_rng.dir/jump.cpp.o.d"
+  "/root/repo/src/rng/mersenne_twister.cpp" "src/rng/CMakeFiles/dwi_rng.dir/mersenne_twister.cpp.o" "gcc" "src/rng/CMakeFiles/dwi_rng.dir/mersenne_twister.cpp.o.d"
+  "/root/repo/src/rng/normal.cpp" "src/rng/CMakeFiles/dwi_rng.dir/normal.cpp.o" "gcc" "src/rng/CMakeFiles/dwi_rng.dir/normal.cpp.o.d"
+  "/root/repo/src/rng/philox.cpp" "src/rng/CMakeFiles/dwi_rng.dir/philox.cpp.o" "gcc" "src/rng/CMakeFiles/dwi_rng.dir/philox.cpp.o.d"
+  "/root/repo/src/rng/ziggurat.cpp" "src/rng/CMakeFiles/dwi_rng.dir/ziggurat.cpp.o" "gcc" "src/rng/CMakeFiles/dwi_rng.dir/ziggurat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dwi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/dwi_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dwi_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

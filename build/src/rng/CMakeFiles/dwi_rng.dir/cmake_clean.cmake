@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwi_rng.dir/configs.cpp.o"
+  "CMakeFiles/dwi_rng.dir/configs.cpp.o.d"
+  "CMakeFiles/dwi_rng.dir/dcmt.cpp.o"
+  "CMakeFiles/dwi_rng.dir/dcmt.cpp.o.d"
+  "CMakeFiles/dwi_rng.dir/erfinv.cpp.o"
+  "CMakeFiles/dwi_rng.dir/erfinv.cpp.o.d"
+  "CMakeFiles/dwi_rng.dir/gamma.cpp.o"
+  "CMakeFiles/dwi_rng.dir/gamma.cpp.o.d"
+  "CMakeFiles/dwi_rng.dir/icdf_bitwise.cpp.o"
+  "CMakeFiles/dwi_rng.dir/icdf_bitwise.cpp.o.d"
+  "CMakeFiles/dwi_rng.dir/jump.cpp.o"
+  "CMakeFiles/dwi_rng.dir/jump.cpp.o.d"
+  "CMakeFiles/dwi_rng.dir/mersenne_twister.cpp.o"
+  "CMakeFiles/dwi_rng.dir/mersenne_twister.cpp.o.d"
+  "CMakeFiles/dwi_rng.dir/normal.cpp.o"
+  "CMakeFiles/dwi_rng.dir/normal.cpp.o.d"
+  "CMakeFiles/dwi_rng.dir/philox.cpp.o"
+  "CMakeFiles/dwi_rng.dir/philox.cpp.o.d"
+  "CMakeFiles/dwi_rng.dir/ziggurat.cpp.o"
+  "CMakeFiles/dwi_rng.dir/ziggurat.cpp.o.d"
+  "libdwi_rng.a"
+  "libdwi_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwi_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simt/gamma_kernel.cpp" "src/simt/CMakeFiles/dwi_simt.dir/gamma_kernel.cpp.o" "gcc" "src/simt/CMakeFiles/dwi_simt.dir/gamma_kernel.cpp.o.d"
+  "/root/repo/src/simt/ops.cpp" "src/simt/CMakeFiles/dwi_simt.dir/ops.cpp.o" "gcc" "src/simt/CMakeFiles/dwi_simt.dir/ops.cpp.o.d"
+  "/root/repo/src/simt/platform.cpp" "src/simt/CMakeFiles/dwi_simt.dir/platform.cpp.o" "gcc" "src/simt/CMakeFiles/dwi_simt.dir/platform.cpp.o.d"
+  "/root/repo/src/simt/runtime_estimator.cpp" "src/simt/CMakeFiles/dwi_simt.dir/runtime_estimator.cpp.o" "gcc" "src/simt/CMakeFiles/dwi_simt.dir/runtime_estimator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dwi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/dwi_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/dwi_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dwi_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwi_simt.dir/gamma_kernel.cpp.o"
+  "CMakeFiles/dwi_simt.dir/gamma_kernel.cpp.o.d"
+  "CMakeFiles/dwi_simt.dir/ops.cpp.o"
+  "CMakeFiles/dwi_simt.dir/ops.cpp.o.d"
+  "CMakeFiles/dwi_simt.dir/platform.cpp.o"
+  "CMakeFiles/dwi_simt.dir/platform.cpp.o.d"
+  "CMakeFiles/dwi_simt.dir/runtime_estimator.cpp.o"
+  "CMakeFiles/dwi_simt.dir/runtime_estimator.cpp.o.d"
+  "libdwi_simt.a"
+  "libdwi_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwi_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/anderson_darling.cpp" "src/stats/CMakeFiles/dwi_stats.dir/anderson_darling.cpp.o" "gcc" "src/stats/CMakeFiles/dwi_stats.dir/anderson_darling.cpp.o.d"
+  "/root/repo/src/stats/battery.cpp" "src/stats/CMakeFiles/dwi_stats.dir/battery.cpp.o" "gcc" "src/stats/CMakeFiles/dwi_stats.dir/battery.cpp.o.d"
+  "/root/repo/src/stats/chi_square.cpp" "src/stats/CMakeFiles/dwi_stats.dir/chi_square.cpp.o" "gcc" "src/stats/CMakeFiles/dwi_stats.dir/chi_square.cpp.o.d"
+  "/root/repo/src/stats/distributions.cpp" "src/stats/CMakeFiles/dwi_stats.dir/distributions.cpp.o" "gcc" "src/stats/CMakeFiles/dwi_stats.dir/distributions.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/dwi_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/dwi_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/ks_test.cpp" "src/stats/CMakeFiles/dwi_stats.dir/ks_test.cpp.o" "gcc" "src/stats/CMakeFiles/dwi_stats.dir/ks_test.cpp.o.d"
+  "/root/repo/src/stats/moments.cpp" "src/stats/CMakeFiles/dwi_stats.dir/moments.cpp.o" "gcc" "src/stats/CMakeFiles/dwi_stats.dir/moments.cpp.o.d"
+  "/root/repo/src/stats/special.cpp" "src/stats/CMakeFiles/dwi_stats.dir/special.cpp.o" "gcc" "src/stats/CMakeFiles/dwi_stats.dir/special.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dwi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

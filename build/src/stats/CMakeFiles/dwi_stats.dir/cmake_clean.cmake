@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwi_stats.dir/anderson_darling.cpp.o"
+  "CMakeFiles/dwi_stats.dir/anderson_darling.cpp.o.d"
+  "CMakeFiles/dwi_stats.dir/battery.cpp.o"
+  "CMakeFiles/dwi_stats.dir/battery.cpp.o.d"
+  "CMakeFiles/dwi_stats.dir/chi_square.cpp.o"
+  "CMakeFiles/dwi_stats.dir/chi_square.cpp.o.d"
+  "CMakeFiles/dwi_stats.dir/distributions.cpp.o"
+  "CMakeFiles/dwi_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/dwi_stats.dir/histogram.cpp.o"
+  "CMakeFiles/dwi_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/dwi_stats.dir/ks_test.cpp.o"
+  "CMakeFiles/dwi_stats.dir/ks_test.cpp.o.d"
+  "CMakeFiles/dwi_stats.dir/moments.cpp.o"
+  "CMakeFiles/dwi_stats.dir/moments.cpp.o.d"
+  "CMakeFiles/dwi_stats.dir/special.cpp.o"
+  "CMakeFiles/dwi_stats.dir/special.cpp.o.d"
+  "libdwi_stats.a"
+  "libdwi_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwi_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_anderson_darling.dir/test_anderson_darling.cpp.o"
+  "CMakeFiles/test_anderson_darling.dir/test_anderson_darling.cpp.o.d"
+  "test_anderson_darling"
+  "test_anderson_darling.pdb"
+  "test_anderson_darling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_anderson_darling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ap_types.dir/test_ap_types.cpp.o"
+  "CMakeFiles/test_ap_types.dir/test_ap_types.cpp.o.d"
+  "test_ap_types"
+  "test_ap_types.pdb"
+  "test_ap_types[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ap_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_api_contracts.cpp" "tests/CMakeFiles/test_api_contracts.dir/test_api_contracts.cpp.o" "gcc" "tests/CMakeFiles/test_api_contracts.dir/test_api_contracts.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dwi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/minicl/CMakeFiles/dwi_minicl.dir/DependInfo.cmake"
+  "/root/repo/build/src/finance/CMakeFiles/dwi_finance.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/dwi_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dwi_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/dwi_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/dwi_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/dwi_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/dwi_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dwi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

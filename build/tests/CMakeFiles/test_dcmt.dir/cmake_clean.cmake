@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dcmt.dir/test_dcmt.cpp.o"
+  "CMakeFiles/test_dcmt.dir/test_dcmt.cpp.o.d"
+  "test_dcmt"
+  "test_dcmt.pdb"
+  "test_dcmt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dcmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_finance.dir/test_finance.cpp.o"
+  "CMakeFiles/test_finance.dir/test_finance.cpp.o.d"
+  "test_finance"
+  "test_finance.pdb"
+  "test_finance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_finance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_headline.dir/test_headline.cpp.o"
+  "CMakeFiles/test_headline.dir/test_headline.cpp.o.d"
+  "test_headline"
+  "test_headline.pdb"
+  "test_headline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_headline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

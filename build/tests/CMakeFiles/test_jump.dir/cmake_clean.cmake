@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jump.dir/test_jump.cpp.o"
+  "CMakeFiles/test_jump.dir/test_jump.cpp.o.d"
+  "test_jump"
+  "test_jump.pdb"
+  "test_jump[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

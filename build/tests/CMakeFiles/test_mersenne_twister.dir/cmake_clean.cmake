@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mersenne_twister.dir/test_mersenne_twister.cpp.o"
+  "CMakeFiles/test_mersenne_twister.dir/test_mersenne_twister.cpp.o.d"
+  "test_mersenne_twister"
+  "test_mersenne_twister.pdb"
+  "test_mersenne_twister[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mersenne_twister.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

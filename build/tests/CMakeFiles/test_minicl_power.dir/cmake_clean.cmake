@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minicl_power.dir/test_minicl_power.cpp.o"
+  "CMakeFiles/test_minicl_power.dir/test_minicl_power.cpp.o.d"
+  "test_minicl_power"
+  "test_minicl_power.pdb"
+  "test_minicl_power[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minicl_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_normal_transforms.dir/test_normal_transforms.cpp.o"
+  "CMakeFiles/test_normal_transforms.dir/test_normal_transforms.cpp.o.d"
+  "test_normal_transforms"
+  "test_normal_transforms.pdb"
+  "test_normal_transforms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_normal_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

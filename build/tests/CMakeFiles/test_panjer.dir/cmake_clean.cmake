@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_panjer.dir/test_panjer.cpp.o"
+  "CMakeFiles/test_panjer.dir/test_panjer.cpp.o.d"
+  "test_panjer"
+  "test_panjer.pdb"
+  "test_panjer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_panjer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

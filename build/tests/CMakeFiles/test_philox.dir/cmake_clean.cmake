@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_philox.dir/test_philox.cpp.o"
+  "CMakeFiles/test_philox.dir/test_philox.cpp.o.d"
+  "test_philox"
+  "test_philox.pdb"
+  "test_philox[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_philox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_program_contrib.dir/test_program_contrib.cpp.o"
+  "CMakeFiles/test_program_contrib.dir/test_program_contrib.cpp.o.d"
+  "test_program_contrib"
+  "test_program_contrib.pdb"
+  "test_program_contrib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_program_contrib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

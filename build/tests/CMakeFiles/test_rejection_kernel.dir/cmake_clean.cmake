@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rejection_kernel.dir/test_rejection_kernel.cpp.o"
+  "CMakeFiles/test_rejection_kernel.dir/test_rejection_kernel.cpp.o.d"
+  "test_rejection_kernel"
+  "test_rejection_kernel.pdb"
+  "test_rejection_kernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rejection_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

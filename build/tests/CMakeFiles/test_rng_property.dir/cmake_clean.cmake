@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rng_property.dir/test_rng_property.cpp.o"
+  "CMakeFiles/test_rng_property.dir/test_rng_property.cpp.o.d"
+  "test_rng_property"
+  "test_rng_property.pdb"
+  "test_rng_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rng_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stream_dataflow.dir/test_stream_dataflow.cpp.o"
+  "CMakeFiles/test_stream_dataflow.dir/test_stream_dataflow.cpp.o.d"
+  "test_stream_dataflow"
+  "test_stream_dataflow.pdb"
+  "test_stream_dataflow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stream_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ziggurat.dir/test_ziggurat.cpp.o"
+  "CMakeFiles/test_ziggurat.dir/test_ziggurat.cpp.o.d"
+  "test_ziggurat"
+  "test_ziggurat.pdb"
+  "test_ziggurat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ziggurat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

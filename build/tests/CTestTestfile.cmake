@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_ap_types[1]_include.cmake")
+include("/root/repo/build/tests/test_stream_dataflow[1]_include.cmake")
+include("/root/repo/build/tests/test_mersenne_twister[1]_include.cmake")
+include("/root/repo/build/tests/test_normal_transforms[1]_include.cmake")
+include("/root/repo/build/tests/test_gamma[1]_include.cmake")
+include("/root/repo/build/tests/test_simt[1]_include.cmake")
+include("/root/repo/build/tests/test_fpga[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_minicl_power[1]_include.cmake")
+include("/root/repo/build/tests/test_finance[1]_include.cmake")
+include("/root/repo/build/tests/test_dcmt[1]_include.cmake")
+include("/root/repo/build/tests/test_scheduler[1]_include.cmake")
+include("/root/repo/build/tests/test_panjer[1]_include.cmake")
+include("/root/repo/build/tests/test_hls_property[1]_include.cmake")
+include("/root/repo/build/tests/test_rng_property[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_invariants[1]_include.cmake")
+include("/root/repo/build/tests/test_jump[1]_include.cmake")
+include("/root/repo/build/tests/test_battery[1]_include.cmake")
+include("/root/repo/build/tests/test_program_contrib[1]_include.cmake")
+include("/root/repo/build/tests/test_api_contracts[1]_include.cmake")
+include("/root/repo/build/tests/test_anderson_darling[1]_include.cmake")
+include("/root/repo/build/tests/test_rejection_kernel[1]_include.cmake")
+include("/root/repo/build/tests/test_golden[1]_include.cmake")
+include("/root/repo/build/tests/test_philox[1]_include.cmake")
+include("/root/repo/build/tests/test_ziggurat[1]_include.cmake")
+include("/root/repo/build/tests/test_headline[1]_include.cmake")
