@@ -1,0 +1,172 @@
+// Machine-readable benchmark artifacts.
+//
+// The text tables the bench binaries print reproduce the paper's
+// figures for humans; BENCH_*.json files carry the same numbers (plus
+// host-side throughput) for machines, so successive PRs can track the
+// performance trajectory without parsing ASCII tables. Writers emit
+// into the current working directory by default — run benches from
+// the repo root to land BENCH_table3.json etc. next to ROADMAP.md.
+//
+// JsonWriter is a minimal streaming emitter: explicit begin/end for
+// objects and arrays, automatic comma placement, no dependencies.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dwi::bench {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(&out) {
+    out_->precision(std::numeric_limits<double>::max_digits10);
+  }
+
+  JsonWriter& begin_object() {
+    prefix();
+    *out_ << '{';
+    stack_.push_back(State{false});
+    return *this;
+  }
+  JsonWriter& end_object() {
+    stack_.pop_back();
+    *out_ << '}';
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    prefix();
+    *out_ << '[';
+    stack_.push_back(State{false});
+    return *this;
+  }
+  JsonWriter& end_array() {
+    stack_.pop_back();
+    *out_ << ']';
+    return *this;
+  }
+
+  JsonWriter& key(std::string_view k) {
+    prefix();
+    write_string(k);
+    *out_ << ':';
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(double v) {
+    prefix();
+    *out_ << v;
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    prefix();
+    *out_ << v;
+    return *this;
+  }
+  JsonWriter& value(int v) {
+    prefix();
+    *out_ << v;
+    return *this;
+  }
+  JsonWriter& value(unsigned v) {
+    prefix();
+    *out_ << v;
+    return *this;
+  }
+  JsonWriter& value(bool v) {
+    prefix();
+    *out_ << (v ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& value(std::string_view v) {
+    prefix();
+    write_string(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+ private:
+  struct State {
+    bool has_item;
+  };
+
+  void prefix() {
+    if (pending_value_) {
+      pending_value_ = false;  // value directly follows its key
+      return;
+    }
+    if (!stack_.empty()) {
+      if (stack_.back().has_item) *out_ << ',';
+      stack_.back().has_item = true;
+    }
+  }
+
+  void write_string(std::string_view s) {
+    *out_ << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': *out_ << "\\\""; break;
+        case '\\': *out_ << "\\\\"; break;
+        case '\n': *out_ << "\\n"; break;
+        case '\t': *out_ << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            *out_ << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+                  << "0123456789abcdef"[c & 0xf];
+          } else {
+            *out_ << c;
+          }
+      }
+    }
+    *out_ << '"';
+  }
+
+  std::ostream* out_;
+  std::vector<State> stack_;
+  bool pending_value_ = false;
+};
+
+/// Parse "1,2,8"-style comma lists (for --threads=LIST flags).
+/// Malformed segments are skipped; zeros are dropped (0 is not a
+/// valid explicit thread count).
+inline std::vector<unsigned> parse_uint_list(std::string_view s) {
+  std::vector<unsigned> out;
+  unsigned cur = 0;
+  bool have = false;
+  for (const char c : s) {
+    if (c >= '0' && c <= '9') {
+      cur = cur * 10u + static_cast<unsigned>(c - '0');
+      have = true;
+    } else {
+      if (have && cur > 0) out.push_back(cur);
+      cur = 0;
+      have = false;
+    }
+  }
+  if (have && cur > 0) out.push_back(cur);
+  return out;
+}
+
+/// Open `path` for writing and warn (without failing the bench) when
+/// the file cannot be created.
+inline std::ofstream open_bench_json(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) {
+    std::cerr << "warning: cannot write " << path
+              << " (benchmark output is unaffected)\n";
+  }
+  return f;
+}
+
+}  // namespace dwi::bench

@@ -2,15 +2,48 @@
 // Config1 and Config3 on the three fixed-architecture platforms. The
 // paper derives localSize = 8 / 64 / 16 for CPU / GPU / PHI from (a)
 // and confirms globalSize = 65,536 from (b).
+//
+// Like table3_runtime, a host-side thread sweep re-runs every
+// estimate point of Fig 5a/5b under each entry of --threads=LIST and
+// writes throughput + a bit-identity check to --json=PATH (default
+// BENCH_fig5.json).
+#include <algorithm>
+#include <chrono>
+#include <cstring>
 #include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
 
+#include "bench_json.h"
 #include "common/table.h"
+#include "exec/parallel_for.h"
+#include "exec/thread_pool.h"
 #include "rng/configs.h"
 #include "simt/runtime_estimator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dwi;
   using simt::PlatformId;
+
+  std::vector<unsigned> sweep_threads = {
+      1, exec::ExecConfig::from_env().resolved()};
+  std::string json_path = "BENCH_fig5.json";
+  for (int a = 1; a < argc; ++a) {
+    const std::string_view arg = argv[a];
+    if (arg.rfind("--threads=", 0) == 0) {
+      sweep_threads = bench::parse_uint_list(arg.substr(10));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = std::string(arg.substr(7));
+    } else {
+      std::cerr << "usage: fig5_worksizes [--threads=1,2,8] [--json=PATH]\n";
+      return 2;
+    }
+  }
+  std::sort(sweep_threads.begin(), sweep_threads.end());
+  sweep_threads.erase(
+      std::unique(sweep_threads.begin(), sweep_threads.end()),
+      sweep_threads.end());
 
   const rng::AppConfig& c1 = rng::config(rng::ConfigId::kConfig1);
   const rng::AppConfig& c3 = rng::config(rng::ConfigId::kConfig3);
@@ -82,5 +115,120 @@ int main() {
               << "   (paper confirms 65536; 65536 and 262144 are nearly "
                  "flat)\n";
   }
-  return 0;
+
+  // ==== Host thread sweep ==============================================
+  // Every (config, worksize, platform) estimate point of Fig 5a + 5b,
+  // run as one flat exec::parallel_map so the pool sees all points at
+  // once. Each lockstep sample simulates sample_partitions x
+  // sample_quota = 4 x 400 nominal outputs.
+  struct Point {
+    const rng::AppConfig* cfg;
+    PlatformId pid;
+    simt::NdRangeWorkload w;
+  };
+  std::vector<Point> pts;
+  for (const auto* cfg : {&c1, &c3}) {
+    for (unsigned l = 1; l <= 512; l *= 2) {
+      for (int p = 0; p < 3; ++p) {
+        simt::NdRangeWorkload w;
+        w.local_size = l;
+        pts.push_back({cfg, pids[p], w});
+      }
+    }
+    for (std::uint64_t g = 1024; g <= (1ull << 20); g *= 4) {
+      for (int p = 0; p < 3; ++p) {
+        simt::NdRangeWorkload w;
+        w.global_size = g;
+        pts.push_back({cfg, pids[p], w});
+      }
+    }
+  }
+  constexpr std::uint64_t kSamplesPerPoint = 4ull * 400ull;
+
+  std::cout << "\n=== Host thread sweep (" << pts.size()
+            << " estimate points) ===\n";
+  struct SweepPoint {
+    unsigned threads = 0;
+    double wall_seconds = 0.0;
+    std::uint64_t fp = 0;
+  };
+  std::vector<SweepPoint> points;
+  for (const unsigned threads : sweep_threads) {
+    exec::set_thread_count(threads);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto ms = exec::parallel_map(pts.size(), [&](std::size_t i) {
+      const Point& pt = pts[i];
+      return simt::estimate_runtime(simt::platform(pt.pid), *pt.cfg,
+                                    pt.cfg->fixed_arch_transform, pt.w)
+                 .seconds * 1e3;
+    });
+    const auto t1 = std::chrono::steady_clock::now();
+    SweepPoint sp;
+    sp.threads = threads;
+    sp.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+    // Estimates are doubles computed from deterministic counters; the
+    // exact bit patterns must match across thread counts.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const double v : ms) {
+      std::uint64_t bits = 0;
+      static_assert(sizeof bits == sizeof v);
+      std::memcpy(&bits, &v, sizeof bits);
+      for (int b = 0; b < 8; ++b) {
+        h ^= (bits >> (8 * b)) & 0xffu;
+        h *= 0x100000001b3ull;
+      }
+    }
+    sp.fp = h;
+    points.push_back(sp);
+  }
+  exec::set_thread_count(0);
+
+  bool identical = true;
+  for (const auto& p : points) identical &= p.fp == points.front().fp;
+  const std::uint64_t samples = kSamplesPerPoint * pts.size();
+  const double serial_sps =
+      static_cast<double>(samples) / points.front().wall_seconds;
+  {
+    TextTable st;
+    st.set_header({"Threads", "Wall [s]", "Samples/s", "Speedup",
+                   "Identical"});
+    for (const auto& p : points) {
+      const double sps = static_cast<double>(samples) / p.wall_seconds;
+      st.add_row({TextTable::integer(p.threads),
+                  TextTable::num(p.wall_seconds, 3), TextTable::num(sps, 0),
+                  TextTable::num(sps / serial_sps, 2),
+                  p.fp == points.front().fp ? "yes" : "NO"});
+    }
+    st.render(std::cout);
+    std::cout << (identical
+                      ? "All thread counts produced bit-identical estimates."
+                      : "ERROR: estimates diverged across thread counts!")
+              << "\n";
+  }
+
+  if (auto jf = bench::open_bench_json(json_path)) {
+    bench::JsonWriter j(jf);
+    j.begin_object();
+    j.kv("bench", "fig5_worksizes");
+    j.kv("estimate_points", static_cast<std::uint64_t>(pts.size()));
+    j.kv("samples_per_point", kSamplesPerPoint);
+    j.kv("identical_across_threads", identical);
+    j.key("sweep").begin_array();
+    for (const auto& p : points) {
+      const double sps = static_cast<double>(samples) / p.wall_seconds;
+      j.begin_object();
+      j.kv("threads", p.threads);
+      j.kv("wall_seconds", p.wall_seconds);
+      j.kv("samples", samples);
+      j.kv("samples_per_sec", sps);
+      j.kv("speedup_vs_serial", sps / serial_sps);
+      j.kv("identical_to_serial", p.fp == points.front().fp);
+      j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+    jf << "\n";
+    std::cout << "Wrote " << json_path << "\n";
+  }
+  return identical ? 0 : 1;
 }

@@ -6,16 +6,75 @@
 //
 // Workload (§IV-B): numScenarios = 2,621,440, numSectors = 240,
 // v = 1.39, globalSize = 65,536 at each platform's optimal localSize.
+//
+// A host-side thread sweep follows the paper tables: it re-runs the
+// four FPGA simulations under exec::set_thread_count for each entry
+// of --threads=LIST (default "1,<DWI_THREADS or hardware>"), checks
+// the results are bit-identical across thread counts, and writes
+// samples/sec + speedup to --json=PATH (default BENCH_table3.json).
+#include <algorithm>
+#include <chrono>
 #include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
 
+#include "bench_json.h"
 #include "common/table.h"
 #include "core/fpga_app.h"
+#include "exec/parallel_for.h"
+#include "exec/thread_pool.h"
 #include "rng/configs.h"
 #include "simt/runtime_estimator.h"
 
-int main() {
+namespace {
+
+/// FNV-1a over the integer fields of the four simulation results; any
+/// cycle-count or output-count divergence between thread counts moves
+/// the fingerprint.
+std::uint64_t fingerprint(const std::vector<dwi::core::FpgaRunResult>& runs) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 0x100000001b3ull;
+    }
+  };
+  for (const auto& r : runs) {
+    mix(r.sim.cycles);
+    mix(r.sim.outputs);
+    mix(r.sim.attempts);
+    mix(r.sim.compute_stall_cycles);
+    mix(r.sim.bursts);
+    mix(r.work_items);
+  }
+  return h;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace dwi;
   using rng::NormalTransform;
+
+  std::vector<unsigned> sweep_threads = {
+      1, exec::ExecConfig::from_env().resolved()};
+  std::string json_path = "BENCH_table3.json";
+  for (int a = 1; a < argc; ++a) {
+    const std::string_view arg = argv[a];
+    if (arg.rfind("--threads=", 0) == 0) {
+      sweep_threads = bench::parse_uint_list(arg.substr(10));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = std::string(arg.substr(7));
+    } else {
+      std::cerr << "usage: table3_runtime [--threads=1,2,8] [--json=PATH]\n";
+      return 2;
+    }
+  }
+  std::sort(sweep_threads.begin(), sweep_threads.end());
+  sweep_threads.erase(
+      std::unique(sweep_threads.begin(), sweep_threads.end()),
+      sweep_threads.end());
 
   std::cout << "=== Table I: Simulation Setup (application configurations) "
                "===\n";
@@ -124,5 +183,95 @@ int main() {
                "exact test) is lower than the paper's reported rates "
                "(23% vs 30.3% MB-combined; 2.4% vs 7.4% ICDF) — see "
                "EXPERIMENTS.md.\n";
-  return 0;
+
+  // ==== Host-side thread sweep =========================================
+  // Times the four FPGA simulations (the dominant cost above) under
+  // each thread count. The four configurations run through an outer
+  // exec::parallel_map and each simulation preruns its work-items on
+  // the pool, so the sweep exercises both parallelism layers. The
+  // result fingerprint must not move: the parallel engine is bit-
+  // identical to the serial one by construction.
+  std::cout << "\n=== Host thread sweep (simulation throughput) ===\n";
+  struct SweepPoint {
+    unsigned threads = 0;
+    double wall_seconds = 0.0;
+    std::uint64_t samples = 0;
+    std::uint64_t fp = 0;
+  };
+  std::vector<SweepPoint> points;
+  const auto configs = rng::all_configs();
+  for (const unsigned threads : sweep_threads) {
+    exec::set_thread_count(threads);
+    const auto t0 = std::chrono::steady_clock::now();
+    auto runs = exec::parallel_map(configs.size(), [&](std::size_t i) {
+      return core::run_fpga_application(configs[i], fw);
+    });
+    const auto t1 = std::chrono::steady_clock::now();
+    SweepPoint p;
+    p.threads = threads;
+    p.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+    for (const auto& r : runs) p.samples += r.sim.outputs;
+    p.fp = fingerprint(runs);
+    points.push_back(p);
+  }
+  exec::set_thread_count(0);  // back to the DWI_THREADS / hardware default
+
+  bool identical = true;
+  for (const auto& p : points) identical &= p.fp == points.front().fp;
+  const double serial_sps =
+      static_cast<double>(points.front().samples) / points.front().wall_seconds;
+  {
+    TextTable st;
+    st.set_header({"Threads", "Wall [s]", "Samples", "Samples/s",
+                   "Speedup", "Identical"});
+    for (const auto& p : points) {
+      const double sps = static_cast<double>(p.samples) / p.wall_seconds;
+      st.add_row({TextTable::integer(p.threads),
+                  TextTable::num(p.wall_seconds, 3),
+                  TextTable::integer(static_cast<long long>(p.samples)),
+                  TextTable::num(sps, 0), TextTable::num(sps / serial_sps, 2),
+                  p.fp == points.front().fp ? "yes" : "NO"});
+    }
+    st.render(std::cout);
+    std::cout << (identical
+                      ? "All thread counts produced bit-identical simulations."
+                      : "ERROR: results diverged across thread counts!")
+              << "\n";
+  }
+
+  if (auto jf = bench::open_bench_json(json_path)) {
+    bench::JsonWriter j(jf);
+    j.begin_object();
+    j.kv("bench", "table3_runtime");
+    j.kv("scale_divisor", static_cast<std::uint64_t>(fw.scale_divisor));
+    j.kv("identical_across_threads", identical);
+    j.key("configs").begin_array();
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      j.begin_object();
+      j.kv("name", configs[i].name);
+      j.kv("fpga_ms", fpga_ms[i]);
+      j.kv("cpu_ms", cell[i][0]);
+      j.kv("gpu_ms", cell[i][1]);
+      j.kv("phi_ms", cell[i][2]);
+      j.end_object();
+    }
+    j.end_array();
+    j.key("sweep").begin_array();
+    for (const auto& p : points) {
+      const double sps = static_cast<double>(p.samples) / p.wall_seconds;
+      j.begin_object();
+      j.kv("threads", p.threads);
+      j.kv("wall_seconds", p.wall_seconds);
+      j.kv("samples", p.samples);
+      j.kv("samples_per_sec", sps);
+      j.kv("speedup_vs_serial", sps / serial_sps);
+      j.kv("identical_to_serial", p.fp == points.front().fp);
+      j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+    jf << "\n";
+    std::cout << "Wrote " << json_path << "\n";
+  }
+  return identical ? 0 : 1;
 }

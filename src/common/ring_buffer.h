@@ -5,6 +5,17 @@
 // the memory-channel arbitration queue. Unlike dwi::hls::stream it is
 // non-blocking and single-threaded: the discrete-event engine polls
 // full()/empty() explicitly, exactly as RTL handshake signals would.
+//
+// THREADING CONTRACT: this class performs no synchronization. It may
+// migrate between threads (the exec engine hands whole work-item
+// simulations to pool workers), but at most one thread may touch a
+// given instance at a time, with a happens-before edge on every
+// handoff — which exec::parallel_for's claim/complete protocol
+// provides. Two threads that need a shared queue must use
+// hls::stream (blocking, mutex-based) or SpscRingBuffer
+// (common/spsc_ring_buffer.h, lock-free single-producer/single-
+// consumer). Debug builds enforce the contract: every mutating or
+// reading accessor asserts that no other access is in flight.
 #pragma once
 
 #include <cstddef>
@@ -13,7 +24,60 @@
 
 #include "common/error.h"
 
+#ifndef DWI_RING_BUFFER_CHECKS
+#ifdef NDEBUG
+#define DWI_RING_BUFFER_CHECKS 0
+#else
+#define DWI_RING_BUFFER_CHECKS 1
+#endif
+#endif
+
+#if DWI_RING_BUFFER_CHECKS
+#include <atomic>
+#endif
+
 namespace dwi {
+
+#if DWI_RING_BUFFER_CHECKS
+namespace detail {
+
+/// Debug-only concurrent-access detector. Copy/move of the owning
+/// buffer resets the flag (a fresh object has no access in flight).
+struct RingBufferAccessFlag {
+  std::atomic<unsigned> in_flight{0};
+  RingBufferAccessFlag() = default;
+  RingBufferAccessFlag(const RingBufferAccessFlag&) noexcept {}
+  RingBufferAccessFlag& operator=(const RingBufferAccessFlag&) noexcept {
+    return *this;
+  }
+};
+
+class RingBufferAccessScope {
+ public:
+  explicit RingBufferAccessScope(RingBufferAccessFlag& flag) : flag_(flag) {
+    const unsigned prior =
+        flag_.in_flight.fetch_add(1, std::memory_order_acq_rel);
+    DWI_ASSERT(prior == 0 && "concurrent RingBuffer access: the "
+               "single-threaded contract is violated");
+  }
+  ~RingBufferAccessScope() {
+    flag_.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  RingBufferAccessScope(const RingBufferAccessScope&) = delete;
+  RingBufferAccessScope& operator=(const RingBufferAccessScope&) = delete;
+
+ private:
+  RingBufferAccessFlag& flag_;
+};
+
+}  // namespace detail
+#define DWI_RING_BUFFER_GUARD() \
+  ::dwi::detail::RingBufferAccessScope dwi_rb_guard_(access_flag_)
+#else
+#define DWI_RING_BUFFER_GUARD() \
+  do {                          \
+  } while (0)
+#endif
 
 template <typename T>
 class RingBuffer {
@@ -30,7 +94,8 @@ class RingBuffer {
 
   /// Insert an element; the buffer must not be full.
   void push(T value) {
-    DWI_ASSERT(!full());
+    DWI_RING_BUFFER_GUARD();
+    DWI_ASSERT(size_ != capacity_);
     slots_[tail_] = std::move(value);
     tail_ = next(tail_);
     ++size_;
@@ -51,7 +116,8 @@ class RingBuffer {
 
   /// Remove and return the oldest element; the buffer must not be empty.
   T pop() {
-    DWI_ASSERT(!empty());
+    DWI_RING_BUFFER_GUARD();
+    DWI_ASSERT(size_ != 0);
     T value = std::move(slots_[head_]);
     head_ = next(head_);
     --size_;
@@ -59,6 +125,7 @@ class RingBuffer {
   }
 
   void clear() {
+    DWI_RING_BUFFER_GUARD();
     head_ = tail_ = 0;
     size_ = 0;
   }
@@ -73,6 +140,9 @@ class RingBuffer {
   std::size_t head_ = 0;
   std::size_t tail_ = 0;
   std::size_t size_ = 0;
+#if DWI_RING_BUFFER_CHECKS
+  mutable detail::RingBufferAccessFlag access_flag_;
+#endif
 };
 
 }  // namespace dwi

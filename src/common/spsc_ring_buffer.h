@@ -1,0 +1,92 @@
+// Lock-free single-producer / single-consumer ring buffer.
+//
+// The concurrency-safe counterpart of common/ring_buffer.h for the one
+// sharing pattern the codebase needs under the exec thread pool: one
+// thread produces, one thread consumes, both non-blocking — the same
+// handshake an RTL FIFO implements in hardware. hls::stream remains
+// the *blocking* channel (mutex + condvar, used by the dataflow
+// processes); this class is for polling producers/consumers that must
+// not sleep, e.g. pipelines bridged between a pool worker and the
+// scheduling thread.
+//
+// Contract: exactly one thread calls try_push (the producer), exactly
+// one thread calls try_pop (the consumer), concurrently and without
+// external locking. size()/empty()/full() are approximations when
+// called from "the other side" — exact only on the calling side of
+// the respective index.
+//
+// Implementation: classic Lamport queue. One slot is sacrificed to
+// distinguish full from empty, indices are acquire/release atomics,
+// and each index is written by exactly one side.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+
+namespace dwi {
+
+template <typename T>
+class SpscRingBuffer {
+ public:
+  explicit SpscRingBuffer(std::size_t capacity)
+      : slots_(capacity + 1), ring_(capacity + 1) {
+    DWI_REQUIRE(capacity > 0, "ring buffer capacity must be positive");
+  }
+
+  SpscRingBuffer(const SpscRingBuffer&) = delete;
+  SpscRingBuffer& operator=(const SpscRingBuffer&) = delete;
+
+  std::size_t capacity() const { return ring_ - 1; }
+
+  /// Producer side. Returns false when full.
+  bool try_push(T value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t next_tail = next(tail);
+    if (next_tail == head_.load(std::memory_order_acquire)) {
+      return false;  // full
+    }
+    slots_[tail] = std::move(value);
+    tail_.store(next_tail, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when empty.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) {
+      return false;  // empty
+    }
+    out = std::move(slots_[head]);
+    head_.store(next(head), std::memory_order_release);
+    return true;
+  }
+
+  /// Exact from the consumer; conservative from the producer.
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  /// Occupancy snapshot (exact only when one side is quiescent).
+  std::size_t size() const {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return tail >= head ? tail - head : ring_ - head + tail;
+  }
+
+ private:
+  std::size_t next(std::size_t i) const {
+    return i + 1 == ring_ ? 0 : i + 1;
+  }
+
+  std::vector<T> slots_;
+  std::size_t ring_;  ///< capacity + 1 (one slot distinguishes full)
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace dwi

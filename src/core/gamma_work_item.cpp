@@ -6,6 +6,7 @@
 #include "common/error.h"
 #include "rng/erfinv.h"
 #include "rng/icdf_bitwise.h"
+#include "rng/jump.h"
 #include "rng/normal.h"
 
 namespace dwi::core {
@@ -34,6 +35,25 @@ GammaWorkItem::GammaWorkItem(const GammaWorkItemConfig& cfg)
       counter_(cfg.break_id) {
   DWI_REQUIRE(!cfg.sector_variances.empty(), "need at least one sector");
   DWI_REQUIRE(cfg.outputs_per_sector > 0, "empty sector quota");
+  if (cfg.stream_strategy == StreamStrategy::kJumpAhead) {
+    // Every twister advances at most once per MAINLOOP iteration and
+    // limit_max bounds the iterations per sector, so limit_max x
+    // sectors outputs per substream can never overlap the next one.
+    const std::uint64_t per_sector_bound =
+        cfg.limit_max != 0 ? cfg.limit_max
+                           : cfg.outputs_per_sector * 4u + 1024u;
+    const std::uint64_t stride =
+        cfg.substream_stride != 0
+            ? cfg.substream_stride
+            : per_sector_bound * cfg.sector_variances.size();
+    const rng::SubstreamSplitter splitter(cfg.app.mt, cfg.seed, stride);
+    const std::uint64_t base =
+        static_cast<std::uint64_t>(cfg.work_item_id) * 4u;
+    mt0a_ = rng::AdaptedMersenneTwister(splitter.stream(base + 0));
+    mt0b_ = rng::AdaptedMersenneTwister(splitter.stream(base + 1));
+    mt1_ = rng::AdaptedMersenneTwister(splitter.stream(base + 2));
+    mt2_ = rng::AdaptedMersenneTwister(splitter.stream(base + 3));
+  }
   enter_sector(0);
 }
 

@@ -30,6 +30,19 @@
 
 namespace dwi::core {
 
+/// How a work-item's four twisters obtain independent streams.
+enum class StreamStrategy {
+  /// The paper's choice: distinct SplitMix-derived seeds per
+  /// (work-item, twister). Overlap is improbable, not impossible.
+  kDistinctSeeds,
+  /// Production-grade: all twisters of all work-items are fixed-stride
+  /// substreams of ONE master sequence via GF(2) jump-ahead
+  /// (rng/jump.h) — overlap is impossible by construction and the
+  /// streams are independent of which host thread simulates the
+  /// work-item. Requires a small DCMT geometry (MT(521) configs).
+  kJumpAhead,
+};
+
 struct GammaWorkItemConfig {
   rng::AppConfig app = rng::config(rng::ConfigId::kConfig1);
   /// Per-sector variances v_k (CreditRisk+ sectors). One entry per
@@ -43,6 +56,11 @@ struct GammaWorkItemConfig {
   unsigned break_id = 0;  ///< DelayedCounter delay register index
   unsigned work_item_id = 0;
   std::uint32_t seed = 1;
+  StreamStrategy stream_strategy = StreamStrategy::kDistinctSeeds;
+  /// kJumpAhead substream stride in outputs (0 = derive a safe bound
+  /// from limit_max x sectors). Work-item w's twister t is substream
+  /// index w*4 + t of the master sequence seeded with `seed`.
+  std::uint64_t substream_stride = 0;
 };
 
 class GammaWorkItem final : public fpga::ProducerModel {

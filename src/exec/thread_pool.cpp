@@ -1,0 +1,110 @@
+#include "exec/thread_pool.h"
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "common/error.h"
+
+namespace dwi::exec {
+
+ExecConfig ExecConfig::from_env() {
+  ExecConfig cfg;
+  if (const char* env = std::getenv("DWI_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0 && v <= 4096) {
+      cfg.threads = static_cast<unsigned>(v);
+    }
+  }
+  return cfg;
+}
+
+unsigned ExecConfig::resolved() const {
+  if (threads > 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned workers) {
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  DWI_ASSERT(task != nullptr);
+  {
+    std::lock_guard lock(mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [&] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ with a drained queue
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+unsigned g_thread_override = 0;  // 0 = use the environment
+
+unsigned effective_threads_locked() {
+  if (g_thread_override > 0) return g_thread_override;
+  return ExecConfig::from_env().resolved();
+}
+
+}  // namespace
+
+unsigned thread_count() {
+  std::lock_guard lock(g_pool_mutex);
+  return effective_threads_locked();
+}
+
+void set_thread_count(unsigned threads) {
+  std::unique_ptr<ThreadPool> retired;
+  {
+    std::lock_guard lock(g_pool_mutex);
+    g_thread_override = threads;
+    // Retire a mismatched pool now; global_pool() rebuilds on demand.
+    if (g_pool && g_pool->workers() + 1 != effective_threads_locked()) {
+      retired = std::move(g_pool);
+    }
+  }
+  // Joins outside the lock (workers never take g_pool_mutex).
+  retired.reset();
+}
+
+ThreadPool& global_pool() {
+  std::lock_guard lock(g_pool_mutex);
+  const unsigned want_workers = effective_threads_locked() - 1;
+  if (!g_pool || g_pool->workers() != want_workers) {
+    g_pool.reset();  // join the old pool before replacing it
+    g_pool = std::make_unique<ThreadPool>(want_workers);
+  }
+  return *g_pool;
+}
+
+}  // namespace dwi::exec

@@ -1,0 +1,94 @@
+// Host-side parallel execution engine.
+//
+// The paper's whole argument (Fig 3) is that N work-items with no data
+// dependencies between them can run fully decoupled, synchronizing
+// only at the shared memory channel. The simulators exploit the same
+// independence on the host: embarrassingly parallel units of work
+// (SIMT sample partitions, per-work-item compute pipelines, whole
+// kernel launches) are sharded over one process-wide thread pool.
+//
+// Determinism contract: parallelism here never changes results. Work
+// is identified by *shard index*, not by worker thread — every shard
+// derives its RNG streams and writes its results from that index
+// (parallel_for.h), and reductions run in index order on the calling
+// thread. Run-to-run and thread-count-to-thread-count outputs are
+// bit-identical; tests/test_exec.cpp enforces this.
+//
+// Thread count resolution (ExecConfig): the DWI_THREADS environment
+// variable when set and positive, else std::thread::hardware_concurrency.
+// Benches override it programmatically (set_thread_count) for their
+// --threads sweeps. DWI_THREADS=1 disables the pool entirely: every
+// call site degrades to the plain serial loop.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dwi::exec {
+
+/// Thread-count configuration for the process-wide pool.
+struct ExecConfig {
+  /// Total threads doing work (callers participate, so a pool of
+  /// `threads` uses `threads - 1` workers). 0 = auto.
+  unsigned threads = 0;
+
+  /// Read DWI_THREADS from the environment (unset, empty, 0 or
+  /// unparsable all mean auto).
+  static ExecConfig from_env();
+
+  /// Resolve auto to the hardware concurrency (at least 1).
+  unsigned resolved() const;
+};
+
+/// Fixed-size worker pool executing submitted tasks FIFO.
+///
+/// This is deliberately minimal: parallel_for builds the structured,
+/// exception-safe, deterministic layer on top. Raw submit() tasks must
+/// not throw.
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned workers() const {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+  /// Enqueue a task. Tasks may be executed on any worker, in any
+  /// order relative to other tasks, possibly long after the caller
+  /// moved on — they must own (or share ownership of) everything they
+  /// touch.
+  void submit(std::function<void()> task);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> threads_;
+  bool stop_ = false;
+};
+
+/// Effective thread count: the set_thread_count override, else
+/// ExecConfig::from_env().resolved(). Always >= 1.
+unsigned thread_count();
+
+/// Override the thread count (0 = back to the environment default).
+/// Resizes the global pool on the next global_pool() call; only call
+/// when no parallel work is in flight (benches between sweep points).
+void set_thread_count(unsigned threads);
+
+/// The process-wide pool, sized to thread_count() - 1 workers.
+/// Constructed lazily on first use.
+ThreadPool& global_pool();
+
+}  // namespace dwi::exec

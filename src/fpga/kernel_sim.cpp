@@ -1,10 +1,12 @@
 #include "fpga/kernel_sim.h"
 
 #include <cmath>
+#include <utility>
 
 #include "common/bits.h"
 #include "common/error.h"
 #include "common/ring_buffer.h"
+#include "exec/parallel_for.h"
 
 namespace dwi::fpga {
 
@@ -51,18 +53,57 @@ struct WorkItem {
   explicit WorkItem(std::size_t depth) : fifo(depth) {}
 };
 
-}  // namespace
+/// Recorded outcome stream of one work-item's compute pipeline: the
+/// accept/reject bit of every initiation plus the accepted values, in
+/// order. A work-item's produce() sequence is schedule-independent
+/// (FIFO stalls delay initiations without reordering them), so the
+/// tape captured in isolation replays exactly inside the cycle loop.
+struct PrerunTape {
+  std::vector<std::uint8_t> accepted;
+  std::vector<float> values;
+};
 
-KernelSimResult simulate_kernel(const KernelSimConfig& cfg,
-                                const ProducerFactory& make_producer) {
-  DWI_REQUIRE(cfg.work_items >= 1 && cfg.work_items <= 64,
-              "work-item count out of range");
-  DWI_REQUIRE(cfg.initiation_interval >= 1, "II must be at least 1");
-  DWI_REQUIRE(cfg.burst_beats >= 1, "burst must be at least one beat");
-  DWI_REQUIRE(cfg.outputs_per_work_item >= 1, "empty workload");
+PrerunTape prerun_work_item(ProducerModel& producer, std::uint64_t quota) {
+  PrerunTape tape;
+  tape.values.reserve(quota);
+  while (tape.values.size() < quota) {
+    float value = 0.0f;
+    const bool ok = producer.produce(&value);
+    tape.accepted.push_back(ok ? 1 : 0);
+    if (ok) tape.values.push_back(value);
+    // Runaway guard, mirroring the cycle-loop's: a producer that can
+    // never meet its quota must not spin forever.
+    DWI_ASSERT(tape.accepted.size() < (std::uint64_t{1} << 40));
+  }
+  return tape;
+}
 
+class ReplayProducer final : public ProducerModel {
+ public:
+  explicit ReplayProducer(const PrerunTape& tape) : tape_(&tape) {}
+
+  bool produce(float* value) override {
+    DWI_ASSERT(attempt_ < tape_->accepted.size());
+    const bool ok = tape_->accepted[attempt_++] != 0;
+    if (ok) *value = tape_->values[output_++];
+    return ok;
+  }
+
+ private:
+  const PrerunTape* tape_;
+  std::size_t attempt_ = 0;
+  std::size_t output_ = 0;
+};
+
+/// Prerun tapes above this per-work-item quota would hog memory
+/// (~4 bytes + ~1.3 accept bytes per output); kAuto stays serial.
+constexpr std::uint64_t kAutoTapeQuotaLimit = std::uint64_t{1} << 23;
+
+/// The cycle-accurate scheduling loop — the sequential synchronization
+/// point where the work-items meet the shared memory channel(s).
+KernelSimResult run_schedule(const KernelSimConfig& cfg,
+                             std::vector<WorkItem> wis) {
   const unsigned floats_per_beat = 16;  // 512-bit / fp32
-  DWI_REQUIRE(cfg.memory_channels >= 1, "need at least one memory channel");
   std::vector<MemoryChannel> channels;
   channels.reserve(cfg.memory_channels);
   for (unsigned c = 0; c < cfg.memory_channels; ++c) {
@@ -71,14 +112,6 @@ KernelSimResult simulate_kernel(const KernelSimConfig& cfg,
   auto channel_of = [&](std::size_t wid) -> MemoryChannel& {
     return channels[wid % cfg.memory_channels];
   };
-
-  std::vector<WorkItem> wis;
-  wis.reserve(cfg.work_items);
-  for (unsigned w = 0; w < cfg.work_items; ++w) {
-    wis.emplace_back(cfg.stream_depth);
-    wis.back().producer = make_producer(w);
-    DWI_REQUIRE(wis.back().producer != nullptr, "null producer");
-  }
 
   KernelSimResult result;
   if (cfg.record_outputs) {
@@ -211,6 +244,54 @@ KernelSimResult simulate_kernel(const KernelSimConfig& cfg,
     result.channel_bytes_per_cycle += ch.bytes_per_cycle();
   }
   return result;
+}
+
+}  // namespace
+
+KernelSimResult simulate_kernel(const KernelSimConfig& cfg,
+                                const ProducerFactory& make_producer) {
+  DWI_REQUIRE(cfg.work_items >= 1 && cfg.work_items <= 64,
+              "work-item count out of range");
+  DWI_REQUIRE(cfg.initiation_interval >= 1, "II must be at least 1");
+  DWI_REQUIRE(cfg.burst_beats >= 1, "burst must be at least one beat");
+  DWI_REQUIRE(cfg.outputs_per_work_item >= 1, "empty workload");
+  DWI_REQUIRE(cfg.memory_channels >= 1, "need at least one memory channel");
+
+  // Producers are deterministic self-contained state machines; build
+  // them on the calling thread so factories need no synchronization.
+  std::vector<std::unique_ptr<ProducerModel>> producers;
+  producers.reserve(cfg.work_items);
+  for (unsigned w = 0; w < cfg.work_items; ++w) {
+    producers.push_back(make_producer(w));
+    DWI_REQUIRE(producers.back() != nullptr, "null producer");
+  }
+
+  const bool parallel =
+      cfg.engine == SimEngine::kParallel ||
+      (cfg.engine == SimEngine::kAuto && cfg.work_items > 1 &&
+       exec::thread_count() > 1 &&
+       cfg.outputs_per_work_item <= kAutoTapeQuotaLimit);
+
+  std::vector<PrerunTape> tapes;
+  if (parallel) {
+    // Decoupled phase: every work-item's compute pipeline runs to
+    // completion independently on the pool — the expensive real
+    // numerics, sharded exactly like the paper's N hardware pipelines.
+    tapes = exec::parallel_map(cfg.work_items, [&](std::size_t w) {
+      return prerun_work_item(*producers[w], cfg.outputs_per_work_item);
+    });
+    for (unsigned w = 0; w < cfg.work_items; ++w) {
+      producers[w] = std::make_unique<ReplayProducer>(tapes[w]);
+    }
+  }
+
+  std::vector<WorkItem> wis;
+  wis.reserve(cfg.work_items);
+  for (unsigned w = 0; w < cfg.work_items; ++w) {
+    wis.emplace_back(cfg.stream_depth);
+    wis.back().producer = std::move(producers[w]);
+  }
+  return run_schedule(cfg, std::move(wis));
 }
 
 double extrapolate_seconds(const KernelSimResult& scaled,

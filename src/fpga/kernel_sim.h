@@ -79,6 +79,25 @@ struct ScheduleTrace {
   std::string channel;
 };
 
+/// How simulate_kernel uses the host.
+///
+/// The parallel engine exploits exactly the independence the paper's
+/// design exploits (Fig 3): a work-item's compute pipeline is a
+/// self-contained state machine whose produce() call sequence does not
+/// depend on FIFO stalls or channel arbitration (stalls delay the
+/// calls, they never reorder or re-argument them). So each work-item's
+/// pipeline is *pre-run* to completion on a pool worker, recording its
+/// accept/reject outcomes and emitted values, and the cycle-accurate
+/// scheduling loop — the single shared-MemoryChannel synchronization
+/// point — then replays the recordings serially. Cycle counts, stall
+/// counts, output bytes and traces are bit-identical to kSerial for
+/// every thread count (tests/test_exec.cpp cross-checks them).
+enum class SimEngine {
+  kAuto,      ///< parallel when DWI_THREADS > 1 and the tapes fit
+  kSerial,    ///< the single-thread reference engine
+  kParallel,  ///< force prerun + replay (even with one thread)
+};
+
 struct KernelSimConfig {
   unsigned work_items = 6;
   unsigned initiation_interval = 1;  ///< II of MAINLOOP
@@ -100,6 +119,11 @@ struct KernelSimConfig {
   bool transfer_double_buffered = true;
   bool record_outputs = false;       ///< keep the generated floats
   ScheduleTrace* trace = nullptr;    ///< optional Fig 3 trace sink
+  /// Host execution engine. Results are engine-invariant; only wall
+  /// time changes. kAuto falls back to kSerial for single-thread
+  /// configs and for quotas whose prerun tapes would not fit in
+  /// memory (> ~8M outputs per work-item).
+  SimEngine engine = SimEngine::kAuto;
 };
 
 struct KernelSimResult {

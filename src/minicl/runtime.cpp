@@ -1,6 +1,7 @@
 #include "minicl/runtime.h"
 
 #include "common/error.h"
+#include "exec/thread_pool.h"
 #include "minicl/devices.h"
 
 namespace dwi::minicl {
@@ -46,6 +47,10 @@ EventPtr CommandQueue::enqueue_read(std::uint64_t bytes,
 double CommandQueue::finish() { return device_busy_until_; }
 
 std::vector<std::shared_ptr<Device>> default_devices() {
+  // Device::execute routes simulations through exec::parallel_map;
+  // warm the pool here so the first enqueue does not pay worker
+  // start-up inside a timed launch.
+  (void)exec::global_pool();
   static std::vector<std::shared_ptr<Device>> devices = {
       std::make_shared<SimtDevice>(simt::cpu_haswell(),
                                    cpu_base_dynamic_watts()),

@@ -85,6 +85,34 @@ MersenneTwister make_jumped(const MtParams& params, std::uint32_t seed,
   return MersenneTwister(params, unpack_state(params, v));
 }
 
+SubstreamSplitter::SubstreamSplitter(const MtParams& params,
+                                     std::uint32_t seed,
+                                     std::uint64_t stride)
+    : params_(params), stride_(stride),
+      t_stride_(Gf2Matrix::identity(params.period_exponent())) {
+  DWI_REQUIRE(stride >= 1, "stride must be positive");
+  DWI_REQUIRE(params.period_exponent() <= 1300,
+              "dense jump-ahead supports p <= 1300 (use the small DCMT "
+              "geometries; MT19937's matrix is impractical here)");
+  seed_state_ = pack_state(params, initial_raw_state(params, seed));
+  // T^stride by square-and-multiply; stream(i) then applies it i times
+  // (again square-and-multiply over i), so both factors stay O(log).
+  Gf2Matrix base = mt_transition_matrix(params);
+  std::uint64_t k = stride;
+  for (;;) {
+    if (k & 1u) t_stride_ = t_stride_ * base;
+    k >>= 1;
+    if (k == 0) break;
+    base = base.square();
+  }
+}
+
+MersenneTwister SubstreamSplitter::stream(std::uint64_t index) const {
+  auto v = seed_state_;
+  if (index > 0) v = apply_power(t_stride_, index, std::move(v));
+  return MersenneTwister(params_, unpack_state(params_, v));
+}
+
 std::vector<MersenneTwister> make_parallel_streams(const MtParams& params,
                                                    std::uint32_t seed,
                                                    unsigned count,

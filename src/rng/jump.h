@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "rng/dcmt.h"
 #include "rng/mersenne_twister.h"
 
 namespace dwi::rng {
@@ -40,5 +41,42 @@ std::vector<MersenneTwister> make_parallel_streams(const MtParams& params,
                                                    std::uint32_t seed,
                                                    unsigned count,
                                                    std::uint64_t stride);
+
+/// Lazy, index-addressed substream derivation for parallel workers.
+///
+/// Where make_parallel_streams materializes all streams eagerly (and
+/// must step through them in order), the splitter precomputes T^stride
+/// once and then serves stream(i) — the master sequence with the
+/// first i·stride outputs discarded — for any index, in any order.
+/// That is the shape parallel execution needs (src/exec): shards claim
+/// indices dynamically, and a shard's stream depends only on its
+/// *index*, never on which worker thread ran it or when, so parallel
+/// results are run-to-run identical regardless of thread count. The
+/// counter-based alternative with the same property is rng/philox
+/// (key = shard index); this class provides it for the paper's
+/// Mersenne-Twister family.
+///
+/// const and safe to share across threads after construction.
+class SubstreamSplitter {
+ public:
+  /// Requires a small DCMT geometry (period exponent <= 1300, e.g.
+  /// the paper's MT(521)); `stride` must cover the worst-case number
+  /// of outputs any one substream consumes.
+  SubstreamSplitter(const MtParams& params, std::uint32_t seed,
+                    std::uint64_t stride);
+
+  /// Generator equal to MersenneTwister(params, seed) with the first
+  /// `index * stride()` outputs discarded.
+  MersenneTwister stream(std::uint64_t index) const;
+
+  std::uint64_t stride() const { return stride_; }
+  const MtParams& params() const { return params_; }
+
+ private:
+  MtParams params_;
+  std::uint64_t stride_;
+  std::vector<std::uint64_t> seed_state_;  ///< packed GF(2) seed vector
+  Gf2Matrix t_stride_;                     ///< transition matrix ^ stride
+};
 
 }  // namespace dwi::rng

@@ -25,7 +25,7 @@ ZigguratNormal::ZigguratNormal() {
   w_[kLayers - 1] = dn / kM;
   f_[0] = 1.0;
   f_[kLayers - 1] = std::exp(-0.5 * dn * dn);
-  for (int i = kLayers - 2; i >= 1; --i) {
+  for (std::size_t i = kLayers - 2; i >= 1; --i) {
     dn = std::sqrt(-2.0 * std::log(kV / dn + std::exp(-0.5 * dn * dn)));
     k_[i + 1] = static_cast<std::uint32_t>((dn / tn) * kM);
     tn = dn;

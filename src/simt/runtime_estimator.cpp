@@ -4,6 +4,7 @@
 
 #include "common/bits.h"
 #include "common/error.h"
+#include "exec/parallel_for.h"
 
 namespace dwi::simt {
 
@@ -24,14 +25,22 @@ RuntimeEstimate estimate_runtime(const PlatformModel& platform,
                                   : paper_optimal_local_size(platform.id);
 
   // --- simulate a sample of partitions ---------------------------------
+  // Partitions are embarrassingly parallel (each seeds its own lanes
+  // from the partition index), so they shard across the pool; the
+  // SlotStats fold runs in partition order on this thread, keeping the
+  // floating-point totals bit-identical to the serial loop for any
+  // DWI_THREADS (tests/test_exec.cpp pins this).
   SlotStats stats;
   std::uint64_t attempts = 0;
   std::uint64_t accepted = 0;
-  for (unsigned s = 0; s < sample_partitions; ++s) {
-    const GammaKernelResult r =
-        run_gamma_partition(platform, config, transform,
-                            workload.sector_variance, sample_quota,
-                            seed + s * 7919u);
+  const auto samples = exec::parallel_map(
+      sample_partitions, [&](std::size_t s) {
+        return run_gamma_partition(
+            platform, config, transform, workload.sector_variance,
+            sample_quota,
+            seed + static_cast<std::uint32_t>(s) * 7919u);
+      });
+  for (const auto& r : samples) {
     stats += r.stats;
     attempts += r.attempts;
     accepted += r.accepted;
