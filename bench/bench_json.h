@@ -21,6 +21,11 @@
 
 namespace dwi::bench {
 
+/// Version of the BENCH_*.json layout. Bump when a key is renamed,
+/// removed or changes meaning — bench/compare_bench.py refuses to
+/// compare artifacts across versions rather than misread them.
+inline constexpr unsigned kBenchSchemaVersion = 2;
+
 class JsonWriter {
  public:
   explicit JsonWriter(std::ostream& out) : out_(&out) {
@@ -136,6 +141,16 @@ class JsonWriter {
   std::vector<State> stack_;
   bool pending_value_ = false;
 };
+
+/// Standard artifact preamble: every BENCH_*.json opens with the bench
+/// name, the schema version and the RNG seed the run used, so baseline
+/// comparisons can verify they are looking at the same experiment.
+inline void write_bench_header(JsonWriter& j, std::string_view bench,
+                               std::uint64_t seed) {
+  j.kv("bench", bench);
+  j.kv("schema_version", kBenchSchemaVersion);
+  j.kv("seed", seed);
+}
 
 /// Parse "1,2,8"-style comma lists (for --threads=LIST flags).
 /// Malformed segments are skipped; zeros are dropped (0 is not a

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_*.json against a committed baseline.
+
+Used by the perf-regression CI job: after building Release and running
+table3_runtime / fig5_worksizes, compare the fresh JSON artifact to
+bench/baselines/<name>.json and fail (exit 1) when a matching sweep
+entry's wall time regressed more than --max-regression (default 25%).
+
+Matching: sweep entries are keyed by their "threads" field; the metric
+compared is "wall_seconds" (lower is better). Entries present only on
+one side are reported but not fatal (sweeps may grow). Artifacts with
+different "bench" names or "schema_version"s are never compared. A baseline captures
+one machine's numbers — refresh it (see docs/PERF.md) when the CI
+hardware or the build profile changes, not to paper over a real
+regression.
+
+Also enforces correctness flags carried by the artifact: any
+"identical_across_threads": false in the fresh run is always fatal.
+
+Usage:
+  bench/compare_bench.py BASELINE FRESH [--max-regression 0.25]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def sweep_by_threads(doc):
+    out = {}
+    for entry in doc.get("sweep", []):
+        key = entry.get("threads")
+        if key is not None:
+            out[key] = entry
+    return out
+
+
+def walk_flags(node, path, failures):
+    """Recursively find identical_across_threads / *_identical flags."""
+    if isinstance(node, dict):
+        for k, v in node.items():
+            if (k == "identical_across_threads" or k.endswith("_identical")) \
+                    and v is False:
+                failures.append(f"{path}/{k} is false")
+            walk_flags(v, f"{path}/{k}", failures)
+    elif isinstance(node, list):
+        for i, v in enumerate(node):
+            walk_flags(v, f"{path}[{i}]", failures)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--max-regression", type=float, default=0.25,
+                    help="fail when wall_seconds exceeds baseline by more "
+                         "than this fraction (default 0.25)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+
+    failures = []
+    if base.get("bench") != fresh.get("bench"):
+        failures.append(f"bench name mismatch: baseline "
+                        f"{base.get('bench')!r} vs fresh "
+                        f"{fresh.get('bench')!r}")
+    if base.get("schema_version") != fresh.get("schema_version"):
+        failures.append(f"schema_version mismatch: baseline "
+                        f"{base.get('schema_version')!r} vs fresh "
+                        f"{fresh.get('schema_version')!r}")
+    if base.get("seed") != fresh.get("seed"):
+        failures.append(f"seed mismatch: baseline {base.get('seed')!r} "
+                        f"vs fresh {fresh.get('seed')!r}")
+    walk_flags(fresh, "", failures)
+
+    bsweep = sweep_by_threads(base)
+    fsweep = sweep_by_threads(fresh)
+
+    compared = 0
+    for threads, bentry in sorted(bsweep.items()):
+        fentry = fsweep.get(threads)
+        if fentry is None:
+            print(f"note: baseline threads={threads} missing from fresh run")
+            continue
+        bs = bentry.get("wall_seconds")
+        fs = fentry.get("wall_seconds")
+        if not bs or not fs:
+            continue
+        compared += 1
+        ratio = fs / bs
+        status = "ok"
+        if ratio > 1.0 + args.max_regression:
+            status = "REGRESSION"
+            failures.append(
+                f"threads={threads}: wall_seconds {fs:.3f} vs baseline "
+                f"{bs:.3f} ({ratio:.2f}x, limit "
+                f"{1.0 + args.max_regression:.2f}x)")
+        print(f"threads={threads}: wall_seconds {fs:.3f} vs {bs:.3f} "
+              f"baseline ({ratio:.2f}x) {status}")
+
+    if compared == 0:
+        failures.append("no comparable sweep entries (schema mismatch?)")
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"\nPASS: {compared} sweep entries within "
+          f"{args.max_regression:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

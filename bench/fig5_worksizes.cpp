@@ -44,7 +44,15 @@ int main(int argc, char** argv) {
   sweep_threads.erase(
       std::unique(sweep_threads.begin(), sweep_threads.end()),
       sweep_threads.end());
+  if (sweep_threads.empty()) {
+    std::cerr << "error: --threads needs at least one positive count\n";
+    return 2;
+  }
 
+  // Explicit estimator seed, recorded in the JSON artifact so baseline
+  // comparisons know the runs match.
+  constexpr std::uint32_t kSeed = 1;
+  std::cout << "seed: " << kSeed << "\n";
   const rng::AppConfig& c1 = rng::config(rng::ConfigId::kConfig1);
   const rng::AppConfig& c3 = rng::config(rng::ConfigId::kConfig3);
   const PlatformId pids[3] = {PlatformId::kCpu, PlatformId::kGpu,
@@ -68,7 +76,7 @@ int main(int argc, char** argv) {
         w.local_size = l;
         const double ms =
             simt::estimate_runtime(simt::platform(pids[p]), *cfg,
-                                   cfg->fixed_arch_transform, w)
+                                   cfg->fixed_arch_transform, w, 4, 400, kSeed)
                 .seconds * 1e3;
         if (ms < best_ms[p]) {
           best_ms[p] = ms;
@@ -99,7 +107,7 @@ int main(int argc, char** argv) {
         w.global_size = g;
         const double ms =
             simt::estimate_runtime(simt::platform(pids[p]), *cfg,
-                                   cfg->fixed_arch_transform, w)
+                                   cfg->fixed_arch_transform, w, 4, 400, kSeed)
                 .seconds * 1e3;
         if (ms < best_ms[p]) {
           best_ms[p] = ms;
@@ -159,7 +167,7 @@ int main(int argc, char** argv) {
     const auto ms = exec::parallel_map(pts.size(), [&](std::size_t i) {
       const Point& pt = pts[i];
       return simt::estimate_runtime(simt::platform(pt.pid), *pt.cfg,
-                                    pt.cfg->fixed_arch_transform, pt.w)
+                                    pt.cfg->fixed_arch_transform, pt.w, 4, 400, kSeed)
                  .seconds * 1e3;
     });
     const auto t1 = std::chrono::steady_clock::now();
@@ -209,7 +217,7 @@ int main(int argc, char** argv) {
   if (auto jf = bench::open_bench_json(json_path)) {
     bench::JsonWriter j(jf);
     j.begin_object();
-    j.kv("bench", "fig5_worksizes");
+    bench::write_bench_header(j, "fig5_worksizes", kSeed);
     j.kv("estimate_points", static_cast<std::uint64_t>(pts.size()));
     j.kv("samples_per_point", kSamplesPerPoint);
     j.kv("identical_across_threads", identical);

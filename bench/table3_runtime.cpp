@@ -75,6 +75,10 @@ int main(int argc, char** argv) {
   sweep_threads.erase(
       std::unique(sweep_threads.begin(), sweep_threads.end()),
       sweep_threads.end());
+  if (sweep_threads.empty()) {
+    std::cerr << "error: --threads needs at least one positive count\n";
+    return 2;
+  }
 
   std::cout << "=== Table I: Simulation Setup (application configurations) "
                "===\n";
@@ -95,6 +99,10 @@ int main(int argc, char** argv) {
   simt::NdRangeWorkload w;  // the paper's defaults
   core::FpgaWorkload fw;
   fw.scale_divisor = 512;
+  // One explicit seed for every simulation in this bench: it lands in
+  // the JSON artifact so baseline comparisons know the runs match.
+  constexpr std::uint32_t kSeed = 1;
+  std::cout << "seed: " << kSeed << "\n";
 
   const double paper[4][4] = {{3825, 2479, 996, 701},
                               {3883, 1011, 696, 701},
@@ -115,7 +123,7 @@ int main(int argc, char** argv) {
   double fpga_ms[4] = {0, 0, 0, 0};
   double cell[4][3];
   for (const auto& c : rng::all_configs()) {
-    const auto fpga_run = core::run_fpga_application(c, fw);
+    const auto fpga_run = core::run_fpga_application(c, fw, kSeed);
     fpga_ms[ci] = fpga_run.seconds_full * 1e3;
     std::vector<std::string> row = {c.name};
     const simt::PlatformId pids[3] = {simt::PlatformId::kCpu,
@@ -167,7 +175,7 @@ int main(int argc, char** argv) {
   e.set_header({"Config", "Eq(1) [ms]", "Simulated [ms]", "Ratio",
                 "Bandwidth [GB/s]", "Rejection"});
   for (const auto& c : rng::all_configs()) {
-    const auto r = core::run_fpga_application(c, fw);
+    const auto r = core::run_fpga_application(c, fw, kSeed);
     e.add_row({c.name, TextTable::num(r.eq1_seconds * 1e3, 0),
                TextTable::num(r.seconds_full * 1e3, 0),
                TextTable::num(r.seconds_full / r.eq1_seconds, 2),
@@ -204,7 +212,7 @@ int main(int argc, char** argv) {
     exec::set_thread_count(threads);
     const auto t0 = std::chrono::steady_clock::now();
     auto runs = exec::parallel_map(configs.size(), [&](std::size_t i) {
-      return core::run_fpga_application(configs[i], fw);
+      return core::run_fpga_application(configs[i], fw, kSeed);
     });
     const auto t1 = std::chrono::steady_clock::now();
     SweepPoint p;
@@ -242,7 +250,7 @@ int main(int argc, char** argv) {
   if (auto jf = bench::open_bench_json(json_path)) {
     bench::JsonWriter j(jf);
     j.begin_object();
-    j.kv("bench", "table3_runtime");
+    bench::write_bench_header(j, "table3_runtime", kSeed);
     j.kv("scale_divisor", static_cast<std::uint64_t>(fw.scale_divisor));
     j.kv("identical_across_threads", identical);
     j.key("configs").begin_array();

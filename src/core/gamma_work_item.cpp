@@ -1,8 +1,10 @@
 #include "core/gamma_work_item.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/bits.h"
+#include "common/block_arena.h"
 #include "common/error.h"
 #include "rng/erfinv.h"
 #include "rng/icdf_bitwise.h"
@@ -73,24 +75,49 @@ void GammaWorkItem::enter_sector(std::size_t sector) {
 }
 
 bool GammaWorkItem::produce(float* value) {
-  if (finished_) return false;
+  // Serve the next precomputed MAINLOOP iteration; (re)fill the tape
+  // when it runs dry. One tape entry per call preserves the scalar
+  // contract exactly: every call while !finished() is one iteration.
+  while (tape_pos_ == tape_flags_.size()) {
+    if (finished_) return false;
+    fill_tape();
+  }
+  ++iterations_;
+  if (tape_flags_[tape_pos_++] == 0) return false;
+  *value = tape_values_[tape_value_pos_++];
+  ++outputs_;
+  return true;
+}
+
+void GammaWorkItem::fill_tape() {
+  tape_flags_.clear();
+  tape_values_.clear();
+  tape_pos_ = 0;
+  tape_value_pos_ = 0;
 
   // ---- MAINLOOP exit checks (Listing 2's for-condition) ---------------
   // Uses the DELAYED counter, so the loop may run breakId+1 extra
-  // iterations after the quota is met — the guarded write below keeps
-  // those iterations output-free.
+  // iterations after the quota is met — the guarded write keeps those
+  // iterations output-free.
   while (k_ >= limit_max_ ||
          counter_.delayed_value() >= cfg_.outputs_per_sector) {
     DWI_ASSERT(counter_.value() == cfg_.outputs_per_sector ||
                k_ >= limit_max_);
     if (sector_ + 1 >= cfg_.sector_variances.size()) {
       finished_ = true;
-      return false;
+      return;
     }
     enter_sector(sector_ + 1);
   }
 
-  ++iterations_;
+  if (cfg_.batch_iterations <= 1) {
+    fill_tape_scalar();
+  } else {
+    fill_tape_batched();
+  }
+}
+
+void GammaWorkItem::fill_tape_scalar() {
   ++k_;
   counter_.update_registers();
 
@@ -141,11 +168,106 @@ bool GammaWorkItem::produce(float* value) {
   const float gamma = alpha_flag_ ? g_corrected : g.value;
   if (g_rn_ok && counter_.value() < cfg_.outputs_per_sector) {
     counter_.increment();
-    ++outputs_;
-    *value = gamma;
-    return true;
+    tape_flags_.push_back(1);
+    tape_values_.push_back(gamma);
+  } else {
+    tape_flags_.push_back(0);
   }
-  return false;
+}
+
+void GammaWorkItem::fill_tape_batched() {
+  // Same dataflow as fill_tape_scalar, restructured stage-by-stage over
+  // a chunk of iterations so every twister advances via generate_block
+  // and every transform runs in a tight loop. The enable-gated commits
+  // become exact draw counts: MT1 advances once per valid normal, MT2
+  // once per accepted candidate — the disabled "peek" re-reads of the
+  // scalar path never reach an output, so skipping them is invisible.
+  const std::uint32_t quota = cfg_.outputs_per_sector;
+
+  // Chunk bound such that no exit check could fire mid-chunk. While
+  // the live counter is below quota the delay registers (past counter
+  // values) are too, and the exit needs at least (quota − counter) +
+  // breakId + 1 more iterations: the counter gains at most 1 per
+  // iteration and the delay line adds breakId+1. Once the counter HAS
+  // reached quota the quota value may already be anywhere inside the
+  // delay line, so the up-to-breakId+1 tail iterations run one at a
+  // time, re-checking the exit after each exactly like the scalar
+  // path. k_ may not cross limit_max_ either way.
+  const std::uint64_t until_quota =
+      counter_.value() < quota
+          ? static_cast<std::uint64_t>(quota - counter_.value()) +
+                counter_.break_id() + 1
+          : 1;
+  const std::uint64_t until_limit = limit_max_ - k_;
+  const std::size_t chunk = static_cast<std::size_t>(
+      std::min({until_quota, until_limit,
+                static_cast<std::uint64_t>(cfg_.batch_iterations)}));
+
+  const rng::NormalTransform transform = cfg_.app.fpga_transform;
+  const bool two_uniforms = rng::uniforms_per_attempt(transform) == 2;
+  common::BlockArena& arena = common::thread_block_arena();
+
+  // ---- Normal RNs, one block ------------------------------------------
+  std::uint32_t* ua = arena.u32(0, chunk);
+  std::uint32_t* ub = two_uniforms ? arena.u32(1, chunk) : nullptr;
+  mt0a_.generate_block(ua, chunk);
+  if (two_uniforms) mt0b_.generate_block(ub, chunk);
+
+  float* n0 = arena.f32(0, chunk);
+  std::uint8_t* n0_valid = arena.u8(0, chunk);
+  rng::normal_attempt_block(transform, ua, ub, chunk, n0, n0_valid);
+
+  // ---- Rejection stage: MT1 commits once per valid normal -------------
+  std::size_t n_valid = 0;
+  for (std::size_t i = 0; i < chunk; ++i) n_valid += n0_valid[i];
+  std::uint32_t* u1 = arena.u32(2, chunk);
+  mt1_.generate_block(u1, n_valid);
+
+  float* g_value = arena.f32(1, chunk);
+  std::uint8_t* g_ok = arena.u8(1, chunk);
+  std::size_t vi = 0;
+  std::size_t n_accepted = 0;
+  for (std::size_t i = 0; i < chunk; ++i) {
+    if (n0_valid[i] == 0) {
+      g_ok[i] = 0;
+      g_value[i] = 0.0f;
+      continue;
+    }
+    const float u = uint2float_open0(u1[vi++]);
+    const rng::GammaAttempt g = rng::gamma_attempt(n0[i], u, gamma_k_);
+    g_ok[i] = g.valid ? 1 : 0;
+    g_value[i] = g.value;
+    n_accepted += g.valid ? 1u : 0u;
+  }
+
+  // ---- Correction stage: MT2 commits once per accepted candidate. The
+  // correction is only *selected* when alphaFlag is set (Listing 2
+  // computes both sides and muxes), so the pow runs only on the
+  // accepted+selected lane — everything else is dead datapath. --------
+  std::uint32_t* u2 = arena.u32(3, chunk);
+  mt2_.generate_block(u2, n_accepted);
+  if (alpha_flag_) {
+    std::size_t ci = 0;
+    for (std::size_t i = 0; i < chunk; ++i) {
+      if (g_ok[i] != 0) {
+        g_value[i] =
+            rng::gamma_correct(g_value[i], uint2float_open0(u2[ci++]), gamma_k_);
+      }
+    }
+  }
+
+  // ---- DelayedCounter bookkeeping + guarded write, integer-only -------
+  for (std::size_t i = 0; i < chunk; ++i) {
+    counter_.update_registers();
+    if (g_ok[i] != 0 && counter_.value() < quota) {
+      counter_.increment();
+      tape_flags_.push_back(1);
+      tape_values_.push_back(g_value[i]);
+    } else {
+      tape_flags_.push_back(0);
+    }
+  }
+  k_ += static_cast<std::uint32_t>(chunk);
 }
 
 double GammaWorkItem::rejection_rate() const {

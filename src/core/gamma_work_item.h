@@ -61,6 +61,14 @@ struct GammaWorkItemConfig {
   /// from limit_max x sectors). Work-item w's twister t is substream
   /// index w*4 + t of the master sequence seeded with `seed`.
   std::uint64_t substream_stride = 0;
+  /// Host-side batching width: produce() serves from an internal tape
+  /// of up to this many precomputed MAINLOOP iterations, generated via
+  /// the block RNG fast path (rng::MersenneTwister::generate_block)
+  /// and the batched normal/rejection transforms. Outputs, iteration
+  /// counts and finished() timing are bit-identical to the scalar
+  /// path for every value; <= 1 disables batching and runs the scalar
+  /// reference path (the equivalence tests compare both).
+  std::uint32_t batch_iterations = 2048;
 };
 
 class GammaWorkItem final : public fpga::ProducerModel {
@@ -87,6 +95,15 @@ class GammaWorkItem final : public fpga::ProducerModel {
  private:
   void enter_sector(std::size_t sector);
 
+  /// Precompute the next run of MAINLOOP iterations into the tape.
+  /// Handles the SECLOOP exit checks, then either one scalar iteration
+  /// (batching disabled) or a batched chunk sized so no exit condition
+  /// can fire mid-chunk. Sets finished_ (leaving the tape empty) when
+  /// every sector is exhausted.
+  void fill_tape();
+  void fill_tape_scalar();   ///< one iteration, classic Listing 2 body
+  void fill_tape_batched();  ///< block-RNG chunk, bit-identical outputs
+
   GammaWorkItemConfig cfg_;
 
   // The paper's twisters: MT0 (normal input; Marsaglia-Bray splits it
@@ -107,6 +124,15 @@ class GammaWorkItem final : public fpga::ProducerModel {
 
   std::uint64_t iterations_ = 0;
   std::uint64_t outputs_ = 0;
+
+  // Tape of precomputed MAINLOOP iterations: one flag per iteration
+  // (did the guarded write emit?) plus the compacted output values.
+  // produce() consumes one entry per call, preserving the scalar
+  // call-for-call contract (iteration counts, finished() timing).
+  std::vector<std::uint8_t> tape_flags_;
+  std::vector<float> tape_values_;
+  std::size_t tape_pos_ = 0;
+  std::size_t tape_value_pos_ = 0;
 };
 
 }  // namespace dwi::core

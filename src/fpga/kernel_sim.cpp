@@ -1,5 +1,6 @@
 #include "fpga/kernel_sim.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
@@ -125,8 +126,96 @@ KernelSimResult run_schedule(const KernelSimConfig& cfg,
 
   const std::uint64_t total_floats_per_wi = cfg.outputs_per_work_item;
 
+  // --- cycle-skipping fast-forward ------------------------------------
+  // A cycle is an *event* cycle when some pipeline changes occupancy
+  // state: an initiation fires, a FIFO drains, a stalled emit could
+  // succeed, a tail beat pads, a burst issues, or a channel dequeues /
+  // completes / crosses a refresh boundary. Between events every state
+  // element is a pure countdown (II counters, in-flight burst timers),
+  // so the stretch can be applied in one step: countdowns decrease by
+  // k, stall counters and traces extend by k, the clock advances by k.
+  // The scan is conservative — anything it cannot prove event-free
+  // falls through to the stepped loop — and short-circuits on the
+  // first active pipeline, so steady-compute workloads pay one check
+  // against work-item 0 per cycle.
+  const auto skippable_cycles = [&](std::vector<WorkItem>& items,
+                                    std::vector<MemoryChannel>& chans)
+      -> std::uint64_t {
+    std::uint64_t skip = MemoryChannel::kInfiniteTicks;
+    for (const auto& ch : chans) {
+      skip = std::min(skip, ch.skippable_ticks());
+      if (skip == 0) return 0;
+    }
+    for (auto& wi : items) {
+      const auto wid = static_cast<std::size_t>(&wi - items.data());
+      if (wi.produced < total_floats_per_wi || wi.pending_emit) {
+        if (wi.pending_emit) {
+          // Deterministic 'S' retry-and-fail only while the FIFO stays
+          // full; a successful retry is an event.
+          if (!wi.fifo.full()) return 0;
+        } else if (wi.ii_countdown == 0) {
+          return 0;  // initiation fires this cycle
+        } else {
+          skip = std::min(skip,
+                          static_cast<std::uint64_t>(wi.ii_countdown));
+        }
+      }
+      const bool buffer_space =
+          cfg.transfer_double_buffered
+              ? (wi.beats_collected < cfg.burst_beats ||
+                 (!wi.burst_pending &&
+                  wi.beats_collected < 2 * cfg.burst_beats))
+              : (!wi.burst_pending &&
+                 wi.beats_collected < cfg.burst_beats);
+      if (buffer_space && !wi.fifo.empty()) return 0;  // drain
+      const bool wi_done = wi.produced >= total_floats_per_wi &&
+                           !wi.pending_emit && wi.fifo.empty();
+      if (wi_done && wi.floats_in_beat > 0) return 0;  // tail pad
+      if (!wi.burst_pending) {
+        const bool burst_ready =
+            wi.beats_collected >= cfg.burst_beats ||
+            (wi_done && wi.beats_collected > 0);
+        if (burst_ready && channel_of(wid).can_accept()) return 0;
+      }
+    }
+    return skip;
+  };
+
   std::uint64_t cycle = 0;
   for (;;) {
+    if (cfg.cycle_skipping) {
+      const std::uint64_t skip = skippable_cycles(wis, channels);
+      if (skip > 0 && skip != MemoryChannel::kInfiniteTicks) {
+        for (auto& wi : wis) {
+          char trace_state = '.';
+          if (wi.produced < total_floats_per_wi || wi.pending_emit) {
+            if (wi.pending_emit) {
+              trace_state = 'S';
+              result.compute_stall_cycles += skip;
+            } else {
+              trace_state = '-';
+              wi.ii_countdown -= static_cast<unsigned>(skip);
+            }
+          }
+          if (cfg.trace != nullptr) {
+            cfg.trace
+                ->work_items[static_cast<std::size_t>(&wi - wis.data())]
+                .append(static_cast<std::size_t>(skip), trace_state);
+          }
+        }
+        for (auto& ch : channels) ch.advance(skip);
+        if (cfg.trace != nullptr) {
+          const int req = channels[0].active_requester();
+          cfg.trace->channel.append(
+              static_cast<std::size_t>(skip),
+              req < 0 ? '.' : static_cast<char>('0' + req % 10));
+        }
+        cycle += skip;
+        DWI_ASSERT(cycle < (std::uint64_t{1} << 40));
+        continue;
+      }
+    }
+
     bool all_done = true;
 
     for (auto& wi : wis) {

@@ -119,6 +119,16 @@ struct KernelSimConfig {
   bool transfer_double_buffered = true;
   bool record_outputs = false;       ///< keep the generated floats
   ScheduleTrace* trace = nullptr;    ///< optional Fig 3 trace sink
+  /// Cycle-skipping fast-forward: when no pipeline changes occupancy
+  /// state in the next k cycles (every compute pipeline is counting
+  /// down its II or stalled on a full stream, every channel is a known
+  /// number of cycles from its next dequeue/completion/refresh event),
+  /// the clock advances by k in one step instead of k loop
+  /// iterations. Cycle counts, stall counts, burst statistics and the
+  /// Fig 2/3 schedule traces are bit-identical to the cycle-stepped
+  /// loop (tests/test_block_rng.cpp pins this); set false to force the
+  /// stepped reference engine.
+  bool cycle_skipping = true;
   /// Host execution engine. Results are engine-invariant; only wall
   /// time changes. kAuto falls back to kSerial for single-thread
   /// configs and for quotas whose prerun tapes would not fit in

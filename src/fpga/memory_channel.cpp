@@ -1,5 +1,7 @@
 #include "fpga/memory_channel.h"
 
+#include <algorithm>
+
 namespace dwi::fpga {
 
 MemoryChannel::MemoryChannel(MemoryChannelConfig cfg)
@@ -42,6 +44,39 @@ void MemoryChannel::tick() {
       in_flight_ = false;
     }
   }
+}
+
+std::uint64_t MemoryChannel::skippable_ticks() const {
+  // A completion flag someone has not consumed yet makes the very next
+  // cycle an event (the owning transfer unit will clear it).
+  if (done_mask_ != 0) return 0;
+  std::uint64_t safe = kInfiniteTicks;
+  if (in_flight_) {
+    // The tick where cycle_ reaches finish_cycle_ completes the burst
+    // (and during a refresh window the finish has already been pushed
+    // past the window), so everything before it is countdown.
+    safe = finish_cycle_ - cycle_ - 1;
+  } else if (!queue_.empty()) {
+    // Next non-refresh tick dequeues; refresh ticks are pure waits.
+    safe = cycle_ < refresh_until_ ? refresh_until_ - cycle_ - 1 : 0;
+  }
+  if (cfg_.refresh_interval_cycles != 0) {
+    // The tick landing on an interval boundary mutates refresh state.
+    const std::uint64_t to_boundary =
+        cfg_.refresh_interval_cycles -
+        (cycle_ % cfg_.refresh_interval_cycles);
+    safe = std::min(safe, to_boundary - 1);
+  }
+  return safe;
+}
+
+void MemoryChannel::advance(std::uint64_t ticks) {
+  DWI_ASSERT(ticks <= skippable_ticks());
+  // Replays exactly what `ticks` tick() calls would do on a countdown
+  // stretch: the clock moves, an in-flight burst accrues busy time,
+  // nothing else changes.
+  cycle_ += ticks;
+  if (in_flight_) busy_cycles_ += ticks;
 }
 
 bool MemoryChannel::burst_done(unsigned requester) {

@@ -47,6 +47,25 @@ class MemoryChannel {
   /// Advance one clock cycle.
   void tick();
 
+  /// Cycle-skipping support: how many consecutive tick()s from the
+  /// current state are pure countdowns — no dequeue, no burst
+  /// completion, no unconsumed completion flag, no refresh-boundary
+  /// crossing. advance(k) for any k <= skippable_ticks() is
+  /// bit-identical to k tick() calls. Returns kInfiniteTicks when the
+  /// channel is fully idle (nothing ever happens without a new
+  /// request).
+  std::uint64_t skippable_ticks() const;
+
+  /// Fast-forward `ticks` cycles at once; caller must ensure
+  /// ticks <= skippable_ticks() (checked in debug builds).
+  void advance(std::uint64_t ticks);
+
+  /// True when request_burst would currently be accepted (queue not
+  /// full) — a const query for the cycle-skip event scan.
+  bool can_accept() const { return !queue_.full(); }
+
+  static constexpr std::uint64_t kInfiniteTicks = ~std::uint64_t{0};
+
   /// True when `requester`'s burst finished this or an earlier cycle
   /// and has not been consumed yet.
   bool burst_done(unsigned requester);

@@ -76,6 +76,47 @@ float GammaSampler::sample(const std::function<std::uint32_t()>& next_u32) {
   }
 }
 
+void GammaSampler::sample_block(MersenneTwister& mt, float* out,
+                                std::size_t count) {
+  // Same rejection loop as sample(), but the uniform source is a block
+  // buffer topped up by generate_block — one twist+temper pass per
+  // kBuf draws instead of one std::function dispatch per draw. The
+  // refill lambda preserves the exact draw order of mt.next().
+  constexpr std::size_t kBuf = 1024;
+  std::uint32_t buf[kBuf];
+  std::size_t pos = kBuf;
+  const auto next = [&]() -> std::uint32_t {
+    if (pos == kBuf) {
+      mt.generate_block(buf, kBuf);
+      pos = 0;
+    }
+    return buf[pos++];
+  };
+
+  const bool two_uniforms = uniforms_per_attempt(transform_) == 2;
+  for (std::size_t i = 0; i < count; ++i) {
+    for (;;) {
+      ++attempts_;
+      const std::uint32_t ua = next();
+      const std::uint32_t ub = two_uniforms ? next() : 0;
+      const NormalAttempt n = normal_attempt(transform_, ua, ub);
+      if (!n.valid) continue;
+
+      const float u1 = uint2float_open0(next());
+      const GammaAttempt g = gamma_attempt(n.value, u1, k_);
+      if (!g.valid) continue;
+
+      ++accepted_;
+      if (!k_.boosted) {
+        out[i] = g.value;
+      } else {
+        out[i] = gamma_correct(g.value, uint2float_open0(next()), k_);
+      }
+      break;
+    }
+  }
+}
+
 double GammaSampler::rejection_rate() const {
   if (attempts_ == 0) return 0.0;
   return 1.0 - static_cast<double>(accepted_) / static_cast<double>(attempts_);

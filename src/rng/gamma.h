@@ -10,10 +10,12 @@
 // Mersenne-Twisters and all divergent branches of Listing 2.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
 
+#include "rng/mersenne_twister.h"
 #include "rng/normal.h"
 
 namespace dwi::rng {
@@ -62,6 +64,15 @@ class GammaSampler {
 
   /// Generate one variate; `next_u32` supplies all uniforms.
   float sample(const std::function<std::uint32_t()>& next_u32);
+
+  /// Block fast path: fill out[0..count) with `count` variates whose
+  /// uniforms come from `mt` via generate_block-buffered reads instead
+  /// of one indirect call per draw. The uniform *consumption order* is
+  /// exactly that of `count` successive sample() calls backed by
+  /// mt.next(), so the variates (and attempts()/accepted()) are
+  /// bit-identical — the equivalence suite pins this. The buffer reads
+  /// ahead of demand, so `mt` should be dedicated to this sampler.
+  void sample_block(MersenneTwister& mt, float* out, std::size_t count);
 
   /// Attempts and acceptances so far. The "combined rejection rate" in
   /// the paper's sense (§IV-E) is the fraction of main-loop iterations

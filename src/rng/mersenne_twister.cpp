@@ -1,5 +1,8 @@
 #include "rng/mersenne_twister.h"
 
+#include <algorithm>
+#include <cstring>
+
 namespace dwi::rng {
 
 MtParams mt19937_params() {
@@ -34,7 +37,7 @@ MtParams mt521_params() {
 }
 
 MersenneTwister::MersenneTwister(const MtParams& params, std::uint32_t seed_v)
-    : params_(params), state_(params.n), index_(params.n),
+    : params_(params), state_(params.n), block_(params.n), index_(params.n),
       lower_mask_((params.r == 32) ? 0xffffffffu
                                    : ((std::uint32_t{1} << params.r) - 1)),
       upper_mask_(~lower_mask_) {
@@ -62,26 +65,64 @@ void MersenneTwister::seed(std::uint32_t s) {
   index_ = params_.n;
 }
 
-std::uint32_t MersenneTwister::twist_word(unsigned i) const {
+void MersenneTwister::refill() {
+  // One in-place pass of the twist recurrence
+  //   x = (s[i] & upper) | (s[i+1 mod n] & lower)
+  //   s[i] <- s[i+m mod n] ^ (x >> 1) ^ (lsb(x) ? a : 0)
+  // split into three modulo-free segments so each loop body is pure
+  // straight-line integer code. Segment boundaries encode exactly
+  // which neighbours have already been rewritten by this pass (for
+  // i >= n-m the middle word i+m wraps onto the updated prefix; the
+  // last word additionally wraps its successor onto updated s[0]),
+  // so the result is bit-identical to the classic word-at-a-time
+  // formulation. Tempering then runs as a second tight loop into
+  // block_, which next()/generate_block() serve from.
+  std::uint32_t* s = state_.data();
   const unsigned n = params_.n;
-  const std::uint32_t x = (state_[i] & upper_mask_) |
-                          (state_[(i + 1) % n] & lower_mask_);
-  std::uint32_t x_a = x >> 1;
-  if (x & 1u) x_a ^= params_.a;
-  return state_[(i + params_.m) % n] ^ x_a;
+  const unsigned m = params_.m;
+  const std::uint32_t a = params_.a;
+  const std::uint32_t um = upper_mask_;
+  const std::uint32_t lm = lower_mask_;
+
+  for (unsigned i = 0; i < n - m; ++i) {
+    const std::uint32_t x = (s[i] & um) | (s[i + 1] & lm);
+    s[i] = s[i + m] ^ (x >> 1) ^ ((x & 1u) ? a : 0u);
+  }
+  for (unsigned i = n - m; i < n - 1; ++i) {
+    const std::uint32_t x = (s[i] & um) | (s[i + 1] & lm);
+    s[i] = s[i + m - n] ^ (x >> 1) ^ ((x & 1u) ? a : 0u);
+  }
+  {
+    const std::uint32_t x = (s[n - 1] & um) | (s[0] & lm);
+    s[n - 1] = s[m - 1] ^ (x >> 1) ^ ((x & 1u) ? a : 0u);
+  }
+
+  std::uint32_t* out = block_.data();
+  const unsigned sh_u = params_.u, sh_s = params_.s;
+  const unsigned sh_t = params_.t, sh_l = params_.l;
+  const std::uint32_t d = params_.d, b = params_.b, c = params_.c;
+  for (unsigned i = 0; i < n; ++i) {
+    std::uint32_t y = s[i];
+    y ^= (y >> sh_u) & d;
+    y ^= (y << sh_s) & b;
+    y ^= (y << sh_t) & c;
+    y ^= y >> sh_l;
+    out[i] = y;
+  }
+  index_ = 0;
 }
 
-std::uint32_t MersenneTwister::next() {
-  if (index_ >= params_.n) {
-    for (unsigned i = 0; i < params_.n; ++i) state_[i] = twist_word(i);
-    index_ = 0;
+void MersenneTwister::generate_block(std::uint32_t* out, std::size_t count) {
+  const unsigned n = params_.n;
+  while (count > 0) {
+    if (index_ >= n) refill();
+    const std::size_t take =
+        std::min<std::size_t>(count, static_cast<std::size_t>(n - index_));
+    std::memcpy(out, block_.data() + index_, take * sizeof(std::uint32_t));
+    index_ += static_cast<unsigned>(take);
+    out += take;
+    count -= take;
   }
-  std::uint32_t y = state_[index_++];
-  y ^= (y >> params_.u) & params_.d;
-  y ^= (y << params_.s) & params_.b;
-  y ^= (y << params_.t) & params_.c;
-  y ^= y >> params_.l;
-  return y;
 }
 
 AdaptedMersenneTwister::AdaptedMersenneTwister(const MtParams& params,
@@ -94,35 +135,6 @@ AdaptedMersenneTwister::AdaptedMersenneTwister(MersenneTwister inner)
 void AdaptedMersenneTwister::seed(std::uint32_t s) {
   inner_.seed(s);
   committed_ = 0;
-}
-
-std::uint32_t AdaptedMersenneTwister::next(bool enable) {
-  // The datapath computes the output of the *current* state word every
-  // call (the pipeline runs every cycle); the commit is conditional.
-  auto& st = inner_.state_;
-  auto& idx = inner_.index_;
-  const auto& p = inner_.params_;
-
-  if (idx >= p.n) {
-    // Regenerate the block lazily, exactly as the sequential generator
-    // would at this point; this is state-observation, not a commit —
-    // the same value is recomputed until the enable finally fires.
-    // (Cheaper incremental variant: twist only word `idx % n`; the block
-    // form is kept for bit-exactness with MersenneTwister::next.)
-    for (unsigned i = 0; i < p.n; ++i) st[i] = inner_.twist_word(i);
-    idx = 0;
-  }
-  std::uint32_t y = st[idx];
-  y ^= (y >> p.u) & p.d;
-  y ^= (y << p.s) & p.b;
-  y ^= (y << p.t) & p.c;
-  y ^= y >> p.l;
-
-  if (enable) {
-    ++idx;
-    ++committed_;
-  }
-  return y;
 }
 
 }  // namespace dwi::rng

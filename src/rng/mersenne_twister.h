@@ -17,6 +17,16 @@
 // statistically (equidistribution, KS, chi-square) instead of by
 // period proof. See DESIGN.md §2 for this substitution.
 //
+// Hot-path structure: the generator regenerates and tempers a whole
+// n-word block at a time (refill()) and serves individual draws from
+// that buffer, so next() is a bounds check plus an array read, and
+// generate_block() can hand out long runs with two memcpy-sized loops
+// per n outputs. The twist runs modulo-free in three segments (see
+// refill() in the .cpp); the output sequence is bit-identical to the
+// classic one-word-at-a-time formulation — tests/test_block_rng.cpp
+// pins block-vs-scalar equality across block boundaries and after
+// jump-ahead.
+//
 // AdaptedMersenneTwister implements the paper's Listing 3: the
 // generator is free-running inside an II=1 pipeline and an external
 // `enable` flag controls whether the state actually advances — the key
@@ -25,6 +35,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -72,8 +83,18 @@ class MersenneTwister {
   /// Re-seed with the standard Knuth initializer.
   void seed(std::uint32_t s);
 
-  /// Next tempered 32-bit output; state advances by one word.
-  std::uint32_t next();
+  /// Next tempered 32-bit output; state advances by one word. Served
+  /// from the tempered block buffer — one refill() per n draws.
+  std::uint32_t next() {
+    if (index_ >= params_.n) refill();
+    return block_[index_++];
+  }
+
+  /// Block fast path: fill out[0..count) with exactly the next `count`
+  /// outputs of the next() sequence (same state advance, same values).
+  /// Whole-buffer copies amortize the twist+temper over n words and
+  /// eliminate the per-draw call overhead in batched consumers.
+  void generate_block(std::uint32_t* out, std::size_t count);
 
   const MtParams& params() const { return params_; }
   unsigned state_words() const { return params_.n; }
@@ -81,10 +102,13 @@ class MersenneTwister {
  private:
   friend class AdaptedMersenneTwister;
 
-  std::uint32_t twist_word(unsigned i) const;
+  /// Twist the whole state array and temper it into block_; resets
+  /// index_ to 0. Bit-identical to n successive classic twist steps.
+  void refill();
 
   MtParams params_;
-  std::vector<std::uint32_t> state_;
+  std::vector<std::uint32_t> state_;  ///< raw recurrence state
+  std::vector<std::uint32_t> block_;  ///< tempered outputs of state_
   unsigned index_;
   std::uint32_t lower_mask_;
   std::uint32_t upper_mask_;
@@ -111,7 +135,25 @@ class AdaptedMersenneTwister {
   void seed(std::uint32_t s);
 
   /// Compute the current output; commit the state update iff `enable`.
-  std::uint32_t next(bool enable);
+  /// The inner generator's block buffer already holds tempered words,
+  /// so a disabled call is a plain re-read of the same buffered value.
+  std::uint32_t next(bool enable) {
+    if (inner_.index_ >= inner_.params_.n) inner_.refill();
+    const std::uint32_t y = inner_.block_[inner_.index_];
+    if (enable) {
+      ++inner_.index_;
+      ++committed_;
+    }
+    return y;
+  }
+
+  /// Block fast path for a run of `count` *enabled* draws: equivalent
+  /// to count× next(true), for batched consumers that know up front
+  /// how many commits they need (e.g. the tape-batched work-item).
+  void generate_block(std::uint32_t* out, std::size_t count) {
+    inner_.generate_block(out, count);
+    committed_ += count;
+  }
 
   /// Number of committed (enabled) steps so far.
   std::uint64_t committed_steps() const { return committed_; }

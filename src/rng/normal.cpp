@@ -66,6 +66,39 @@ NormalAttempt normal_attempt(NormalTransform t, std::uint32_t u1,
   return NormalAttempt{};
 }
 
+void normal_attempt_block(NormalTransform t, const std::uint32_t* ua,
+                          const std::uint32_t* ub, std::size_t count,
+                          float* value, std::uint8_t* valid) {
+  switch (t) {
+    case NormalTransform::kMarsagliaBray:
+      for (std::size_t i = 0; i < count; ++i) {
+        const NormalAttempt a = marsaglia_bray_attempt(ua[i], ub[i]);
+        value[i] = a.value;
+        valid[i] = a.valid ? 1 : 0;
+      }
+      return;
+    case NormalTransform::kIcdfBitwise:
+      for (std::size_t i = 0; i < count; ++i) {
+        const IcdfResult r = normal_icdf_bitwise(ua[i]);
+        value[i] = r.value;
+        valid[i] = r.valid ? 1 : 0;
+      }
+      return;
+    case NormalTransform::kIcdfCuda:
+      for (std::size_t i = 0; i < count; ++i) {
+        value[i] = normal_icdf_cuda(ua[i]);
+        valid[i] = 1;
+      }
+      return;
+    case NormalTransform::kBoxMuller:
+      for (std::size_t i = 0; i < count; ++i) {
+        value[i] = box_muller(ua[i], ub[i]);
+        valid[i] = 1;
+      }
+      return;
+  }
+}
+
 double analytic_acceptance(NormalTransform t) {
   switch (t) {
     case NormalTransform::kMarsagliaBray: return std::numbers::pi / 4.0;

@@ -15,6 +15,7 @@
 // suite all consume one interface.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace dwi::rng {
@@ -54,6 +55,16 @@ float box_muller(std::uint32_t u1, std::uint32_t u2,
 /// the transform consumes one).
 NormalAttempt normal_attempt(NormalTransform t, std::uint32_t u1,
                              std::uint32_t u2);
+
+/// Batched form of normal_attempt for block-generated uniforms: apply
+/// `t` to `count` attempts, reading ua[i] (and ub[i] for two-uniform
+/// transforms; ub may be null otherwise) and writing value[i] /
+/// valid[i]. The dispatch happens once per block instead of once per
+/// attempt and each case is a tight loop over the same scalar helpers,
+/// so results are bit-identical to `count` normal_attempt calls.
+void normal_attempt_block(NormalTransform t, const std::uint32_t* ua,
+                          const std::uint32_t* ub, std::size_t count,
+                          float* value, std::uint8_t* valid);
 
 /// Acceptance probability of one attempt, analytic where known:
 /// π/4 for Marsaglia-Bray, 1 − 2^-31 for the bitwise ICDF, 1 otherwise.

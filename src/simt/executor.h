@@ -69,9 +69,12 @@ class LockstepPartition {
   /// `scalarization`: the platform's divergence-scalarization factor
   /// (0 = pure predication, 1 = full per-lane serialization of
   /// divergent regions).
+  /// The cost table is copied (it is a few doubles), so callers may
+  /// pass a temporary — storing a reference here once made the
+  /// partition silently read a dangling stack slot.
   LockstepPartition(unsigned width, const OpCostTable& costs,
                     double scalarization = 0.0)
-      : width_(width), costs_(&costs), scalarization_(scalarization) {
+      : width_(width), costs_(costs), scalarization_(scalarization) {
     DWI_REQUIRE(width >= 1 && width <= 64,
                 "partition width must be in [1, 64]");
     DWI_REQUIRE(scalarization >= 0.0 && scalarization <= 1.0,
@@ -95,7 +98,7 @@ class LockstepPartition {
     if (mask == 0) return;
     const unsigned active = popcount(mask);
     const bool divergent = mask != parent;
-    const double base = costs_->cost(ops);
+    const double base = costs_.cost(ops);
     const double charged =
         divergent
             ? base * ((1.0 - scalarization_) +
@@ -129,7 +132,7 @@ class LockstepPartition {
 
  private:
   unsigned width_;
-  const OpCostTable* costs_;
+  OpCostTable costs_;
   double scalarization_;
   SlotStats stats_;
   RegionObserver observer_;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/bits.h"
+#include "common/block_arena.h"
 #include "common/error.h"
 #include "rng/erfinv.h"
 #include "rng/icdf_bitwise.h"
@@ -97,43 +98,54 @@ GammaKernelResult run_gamma_partition(
     part.charge(alive, part.full_mask(), loop_bundle);
 
     // --- normal generation (all alive lanes) ----------------------------
+    // The per-lane transform dispatch is hoisted out of the region:
+    // uniforms are pre-drawn in lane order (each lane owns its
+    // twisters, so this is stream-identical to drawing inside the
+    // callback, which the executor also runs in ascending lane order)
+    // and the transform runs as one dense batch over the alive lanes.
+    // Marsaglia-Bray keeps its split shape — the normal-gen region
+    // computes only the polar setup; sqrt/log live in the divergent
+    // finish region below — so it batches its setup arithmetic here
+    // instead of going through rng::normal_attempt_block.
     Mask normal_valid = 0;
-    part.region(alive, alive, normal_gen_bundle, [&](unsigned i) {
-      LaneState& l = lanes[i];
-      ++result.attempts;
-      switch (transform) {
-        case rng::NormalTransform::kMarsagliaBray: {
-          const float v1 = 2.0f * uint2float_open0(l.mt0a.next()) - 1.0f;
-          const float v2 = 2.0f * uint2float_open0(l.mt0b.next()) - 1.0f;
-          const float s = v1 * v1 + v2 * v2;
-          if (s < 1.0f && s > 0.0f) {
-            // Store the pre-finish values; the sqrt/log happen in the
-            // divergent finish region below.
-            l.n0 = v1;
-            l.v = s;
-            l.n0_valid = true;
-          } else {
-            l.n0_valid = false;
-          }
-          break;
-        }
-        case rng::NormalTransform::kIcdfCuda:
-          l.n0 = rng::normal_icdf_cuda(l.mt0a.next());
-          l.n0_valid = true;
-          break;
-        case rng::NormalTransform::kIcdfBitwise: {
-          const auto r = rng::normal_icdf_bitwise(l.mt0a.next());
-          l.n0 = r.value;
-          l.n0_valid = r.valid;
-          break;
-        }
-        case rng::NormalTransform::kBoxMuller:
-          l.n0 = rng::box_muller(l.mt0a.next(), l.mt0b.next());
-          l.n0_valid = true;
-          break;
+    {
+      common::BlockArena& arena = common::thread_block_arena();
+      std::uint32_t* ua = arena.u32(0, width);
+      std::uint32_t* ub = arena.u32(1, width);
+      float* n_value = arena.f32(0, width);
+      float* n_aux = arena.f32(1, width);
+      std::uint8_t* n_ok = arena.u8(0, width);
+      const bool two_uniforms = rng::uniforms_per_attempt(transform) == 2;
+      std::size_t cnt = 0;
+      for (unsigned i = 0; i < width; ++i) {
+        if ((alive & lane_bit(i)) == 0) continue;
+        ua[cnt] = lanes[i].mt0a.next();
+        if (two_uniforms) ub[cnt] = lanes[i].mt0b.next();
+        ++cnt;
       }
-      if (l.n0_valid) normal_valid |= lane_bit(i);
-    });
+      if (uses_mb) {
+        for (std::size_t j = 0; j < cnt; ++j) {
+          const float v1 = 2.0f * uint2float_open0(ua[j]) - 1.0f;
+          const float v2 = 2.0f * uint2float_open0(ub[j]) - 1.0f;
+          const float s = v1 * v1 + v2 * v2;
+          n_value[j] = v1;
+          n_aux[j] = s;
+          n_ok[j] = (s < 1.0f && s > 0.0f) ? 1 : 0;
+        }
+      } else {
+        rng::normal_attempt_block(transform, ua, ub, cnt, n_value, n_ok);
+      }
+      std::size_t j = 0;
+      part.region(alive, alive, normal_gen_bundle, [&](unsigned i) {
+        LaneState& l = lanes[i];
+        ++result.attempts;
+        l.n0 = n_value[j];
+        l.n0_valid = n_ok[j] != 0;
+        if (uses_mb) l.v = n_aux[j];
+        ++j;
+        if (l.n0_valid) normal_valid |= lane_bit(i);
+      });
+    }
 
     // --- Marsaglia-Bray finish (divergent: only accepted lanes) ---------
     if (uses_mb) {

@@ -1,0 +1,299 @@
+// Block-vs-scalar equivalence suites for the hot-path overhaul: the
+// block-generated RNG fast path, the tape-batched rejection pipeline
+// and the cycle-skipping kernel simulation must all be bit-identical
+// to their scalar / cycle-stepped reference formulations — these tests
+// pin that contract on every layer.
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/gamma_work_item.h"
+#include "fpga/kernel_sim.h"
+#include "rng/configs.h"
+#include "rng/gamma.h"
+#include "rng/jump.h"
+#include "rng/mersenne_twister.h"
+#include "rng/normal.h"
+
+namespace dwi {
+namespace {
+
+// ---------------------------------------------------------------------
+// generate_block == next() sequence, across block boundaries
+// ---------------------------------------------------------------------
+
+void expect_block_matches_next(const rng::MtParams& params,
+                               std::uint32_t seed) {
+  rng::MersenneTwister scalar(params, seed);
+  rng::MersenneTwister blocked(params, seed);
+
+  // Sizes chosen to start, straddle and end exactly on state-array
+  // boundaries for both geometries (n = 624 and n = 17).
+  const std::size_t sizes[] = {1, 3, 16, 17, 18, 623, 624, 625, 1000, 2};
+  std::vector<std::uint32_t> buf;
+  for (const std::size_t size : sizes) {
+    buf.assign(size, 0);
+    blocked.generate_block(buf.data(), size);
+    for (std::size_t i = 0; i < size; ++i) {
+      ASSERT_EQ(scalar.next(), buf[i]) << "size " << size << " pos " << i;
+    }
+  }
+}
+
+TEST(BlockRng, Mt19937GenerateBlockMatchesNext) {
+  expect_block_matches_next(rng::mt19937_params(), 5489u);
+  expect_block_matches_next(rng::mt19937_params(), 1u);
+}
+
+TEST(BlockRng, Mt521GenerateBlockMatchesNext) {
+  expect_block_matches_next(rng::mt521_params(), 1u);
+  expect_block_matches_next(rng::mt521_params(), 0xdeadbeefu);
+}
+
+TEST(BlockRng, GenerateBlockAfterJumpAhead) {
+  // Jump-ahead substreams are constructed from raw states; the block
+  // path must continue the recurrence identically from there.
+  const rng::MtParams params = rng::mt521_params();
+  const rng::SubstreamSplitter splitter(params, 42u, 1000);
+  for (const std::uint64_t index : {0ull, 1ull, 7ull}) {
+    rng::MersenneTwister scalar = splitter.stream(index);
+    rng::MersenneTwister blocked = splitter.stream(index);
+    std::uint32_t buf[200];
+    blocked.generate_block(buf, 200);
+    for (std::size_t i = 0; i < 200; ++i) {
+      ASSERT_EQ(scalar.next(), buf[i]) << "stream " << index << " pos " << i;
+    }
+  }
+
+  // make_jumped must agree with manually skipping on the block path.
+  rng::MersenneTwister jumped = rng::make_jumped(params, 9u, 345);
+  rng::MersenneTwister stepped(params, 9u);
+  std::uint32_t sink[345];
+  stepped.generate_block(sink, 345);
+  std::uint32_t a[64], b[64];
+  jumped.generate_block(a, 64);
+  stepped.generate_block(b, 64);
+  for (std::size_t i = 0; i < 64; ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+TEST(BlockRng, AdaptedEnabledBlockMatchesNext) {
+  const rng::MtParams params = rng::mt521_params();
+  rng::AdaptedMersenneTwister scalar(params, 7u);
+  rng::AdaptedMersenneTwister blocked(params, 7u);
+
+  // Interleave disabled peeks into the scalar twin exactly as the
+  // pipeline would; they must not perturb the committed stream.
+  std::uint32_t buf[100];
+  blocked.generate_block(buf, 100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    if (i % 3 == 0) {
+      const std::uint32_t peek = scalar.next(false);
+      ASSERT_EQ(peek, scalar.next(false));  // peeks are idempotent
+    }
+    ASSERT_EQ(scalar.next(true), buf[i]) << "pos " << i;
+  }
+  ASSERT_EQ(scalar.committed_steps(), blocked.committed_steps());
+}
+
+// ---------------------------------------------------------------------
+// GammaSampler::sample_block == repeated sample(), draw-for-draw
+// ---------------------------------------------------------------------
+
+TEST(BlockRng, SamplerBlockMatchesScalar) {
+  for (const float variance : {1.39f, 0.5f}) {
+    for (const auto transform : {rng::NormalTransform::kMarsagliaBray,
+                                 rng::NormalTransform::kIcdfBitwise,
+                                 rng::NormalTransform::kIcdfCuda}) {
+      const auto k = rng::GammaConstants::from_sector_variance(variance);
+      rng::GammaSampler scalar(k, transform);
+      rng::GammaSampler blocked(k, transform);
+
+      rng::MersenneTwister mt_scalar(rng::mt19937_params(), 123u);
+      rng::MersenneTwister mt_block(rng::mt19937_params(), 123u);
+
+      constexpr std::size_t kCount = 4000;
+      std::vector<float> a(kCount), b(kCount);
+      for (std::size_t i = 0; i < kCount; ++i) {
+        a[i] = scalar.sample([&] { return mt_scalar.next(); });
+      }
+      blocked.sample_block(mt_block, b.data(), kCount);
+
+      ASSERT_EQ(a, b) << "variance " << variance;
+      EXPECT_EQ(scalar.attempts(), blocked.attempts());
+      EXPECT_EQ(scalar.accepted(), blocked.accepted());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Tape-batched GammaWorkItem == scalar Listing 2 path, call-for-call
+// ---------------------------------------------------------------------
+
+struct WorkItemRun {
+  std::vector<std::uint8_t> flags;  ///< produce() return per call
+  std::vector<float> values;
+  std::uint64_t iterations = 0;
+  std::uint64_t outputs = 0;
+};
+
+WorkItemRun run_work_item(const core::GammaWorkItemConfig& cfg) {
+  core::GammaWorkItem wi(cfg);
+  WorkItemRun run;
+  // Call produce() past finish to also pin the finished() transition.
+  std::uint64_t guard = 0;
+  while (!wi.finished()) {
+    float v = 0.0f;
+    const bool ok = wi.produce(&v);
+    if (wi.finished()) break;  // the finishing call performs no iteration
+    run.flags.push_back(ok ? 1 : 0);
+    if (ok) run.values.push_back(v);
+    if (++guard > std::uint64_t{10'000'000}) {
+      ADD_FAILURE() << "runaway work-item";
+      break;
+    }
+  }
+  run.iterations = wi.iterations();
+  run.outputs = wi.outputs();
+  return run;
+}
+
+TEST(BatchedWorkItem, MatchesScalarPathAllConfigs) {
+  for (const auto id : {rng::ConfigId::kConfig1, rng::ConfigId::kConfig2,
+                        rng::ConfigId::kConfig3, rng::ConfigId::kConfig4}) {
+    for (const std::uint32_t batch : {4u, 97u, 2048u}) {
+      core::GammaWorkItemConfig scalar_cfg;
+      scalar_cfg.app = rng::config(id);
+      scalar_cfg.sector_variances = {1.39f, 0.5f, 2.0f, 1.0f};
+      scalar_cfg.outputs_per_sector = 96;
+      scalar_cfg.break_id = 2;
+      scalar_cfg.work_item_id = 3;
+      scalar_cfg.seed = 11;
+      scalar_cfg.batch_iterations = 1;  // scalar reference path
+
+      core::GammaWorkItemConfig batched_cfg = scalar_cfg;
+      batched_cfg.batch_iterations = batch;
+
+      const WorkItemRun a = run_work_item(scalar_cfg);
+      const WorkItemRun b = run_work_item(batched_cfg);
+
+      ASSERT_EQ(a.flags, b.flags)
+          << "config " << static_cast<int>(id) << " batch " << batch;
+      ASSERT_EQ(a.values, b.values)
+          << "config " << static_cast<int>(id) << " batch " << batch;
+      EXPECT_EQ(a.iterations, b.iterations);
+      EXPECT_EQ(a.outputs, b.outputs);
+    }
+  }
+}
+
+TEST(BatchedWorkItem, MatchesScalarPathJumpAhead) {
+  core::GammaWorkItemConfig scalar_cfg;
+  scalar_cfg.app = rng::config(rng::ConfigId::kConfig2);  // MT(521)
+  scalar_cfg.sector_variances = {1.39f, 1.39f};
+  scalar_cfg.outputs_per_sector = 128;
+  scalar_cfg.break_id = 0;
+  scalar_cfg.work_item_id = 1;
+  scalar_cfg.seed = 5;
+  scalar_cfg.stream_strategy = core::StreamStrategy::kJumpAhead;
+  scalar_cfg.batch_iterations = 1;
+
+  core::GammaWorkItemConfig batched_cfg = scalar_cfg;
+  batched_cfg.batch_iterations = 512;
+
+  const WorkItemRun a = run_work_item(scalar_cfg);
+  const WorkItemRun b = run_work_item(batched_cfg);
+  ASSERT_EQ(a.flags, b.flags);
+  ASSERT_EQ(a.values, b.values);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+// ---------------------------------------------------------------------
+// Cycle-skipping KernelSim == cycle-stepped engine
+// ---------------------------------------------------------------------
+
+void expect_engines_match(fpga::KernelSimConfig cfg,
+                          const fpga::ProducerFactory& make_producer) {
+  fpga::ScheduleTrace stepped_trace, skipped_trace;
+
+  fpga::KernelSimConfig stepped = cfg;
+  stepped.cycle_skipping = false;
+  stepped.trace = &stepped_trace;
+  const fpga::KernelSimResult a =
+      fpga::simulate_kernel(stepped, make_producer);
+
+  fpga::KernelSimConfig skipped = cfg;
+  skipped.cycle_skipping = true;
+  skipped.trace = &skipped_trace;
+  const fpga::KernelSimResult b =
+      fpga::simulate_kernel(skipped, make_producer);
+
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.outputs, b.outputs);
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.compute_stall_cycles, b.compute_stall_cycles);
+  EXPECT_EQ(a.bursts, b.bursts);
+  EXPECT_EQ(a.channel_bytes_per_cycle, b.channel_bytes_per_cycle);
+  EXPECT_EQ(a.outputs_data, b.outputs_data);
+  ASSERT_EQ(stepped_trace.work_items.size(), skipped_trace.work_items.size());
+  for (std::size_t w = 0; w < stepped_trace.work_items.size(); ++w) {
+    EXPECT_EQ(stepped_trace.work_items[w], skipped_trace.work_items[w])
+        << "work-item " << w;
+  }
+  EXPECT_EQ(stepped_trace.channel, skipped_trace.channel);
+}
+
+TEST(CycleSkip, MatchesSteppedOnFig2Fig3Scenario) {
+  // The exact configuration bench/fig2_fig3_schedules renders.
+  fpga::KernelSimConfig cfg;
+  cfg.work_items = 4;
+  cfg.outputs_per_work_item = 192;
+  cfg.burst_beats = 2;
+  cfg.stream_depth = 8;
+  cfg.channel.turnaround_cycles = 6;
+  expect_engines_match(cfg, [](unsigned w) {
+    return std::make_unique<fpga::BernoulliProducer>(0.766, 33 + w);
+  });
+}
+
+TEST(CycleSkip, MatchesSteppedWithIIRefreshAndMultiChannel) {
+  fpga::KernelSimConfig cfg;
+  cfg.work_items = 5;
+  cfg.outputs_per_work_item = 300;
+  cfg.initiation_interval = 3;  // '-' countdown cycles get skipped
+  cfg.burst_beats = 4;
+  cfg.stream_depth = 16;
+  cfg.memory_channels = 2;
+  cfg.transfer_double_buffered = false;
+  cfg.channel.turnaround_cycles = 41;
+  cfg.channel.refresh_interval_cycles = 97;  // awkward boundary stride
+  cfg.channel.refresh_cycles = 13;
+  cfg.record_outputs = true;
+  expect_engines_match(cfg, [](unsigned w) {
+    return std::make_unique<fpga::BernoulliProducer>(0.5, 101 + w);
+  });
+}
+
+TEST(CycleSkip, MatchesSteppedWithGammaProducers) {
+  // Full stack: tape-batched work-items inside both sim engines.
+  fpga::KernelSimConfig cfg;
+  cfg.work_items = 3;
+  cfg.outputs_per_work_item = 256;
+  cfg.burst_beats = 2;
+  cfg.stream_depth = 8;
+  cfg.channel.turnaround_cycles = 12;
+  cfg.record_outputs = true;
+  expect_engines_match(cfg, [](unsigned w) {
+    core::GammaWorkItemConfig wi_cfg;
+    wi_cfg.app = rng::config(rng::ConfigId::kConfig2);
+    wi_cfg.outputs_per_sector = 256;
+    wi_cfg.work_item_id = w;
+    wi_cfg.seed = 77;
+    return std::make_unique<core::GammaWorkItem>(wi_cfg);
+  });
+}
+
+}  // namespace
+}  // namespace dwi
