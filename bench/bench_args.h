@@ -1,0 +1,89 @@
+// Shared argv parsing for the bench/ drivers.
+//
+// Every sweep-style bench takes the same three flags —
+//   --threads=1,2,8   host thread counts to sweep (sorted, deduped)
+//   --json=PATH       BENCH_*.json artifact path
+//   --seed=S          RNG seed recorded in the artifact
+// — previously copy-pasted per driver. parse_bench_args() owns them;
+// bench-specific flags can be collected through `extra` and parsed by
+// the caller.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_json.h"
+#include "exec/thread_pool.h"
+
+namespace dwi::bench {
+
+struct BenchArgs {
+  /// Sorted, deduplicated sweep thread counts. Default: {1, the
+  /// DWI_THREADS / hardware default}.
+  std::vector<unsigned> threads;
+  std::string json_path;
+  std::uint64_t seed = 1;
+};
+
+/// Parse the shared flags. On success returns the filled BenchArgs; on
+/// a malformed or unknown flag prints a usage line mentioning
+/// `bench_name` (plus `extra_usage`, if any) to stderr and returns
+/// nullopt — callers should exit 2. When `extra` is non-null,
+/// unrecognized arguments are appended there instead of failing, for
+/// benches with flags of their own.
+inline std::optional<BenchArgs> parse_bench_args(
+    int argc, char** argv, std::string_view bench_name,
+    std::string default_json, std::string_view extra_usage = "",
+    std::vector<std::string>* extra = nullptr) {
+  BenchArgs a;
+  a.threads = {1, exec::ExecConfig::from_env().resolved()};
+  a.json_path = std::move(default_json);
+
+  const auto usage = [&] {
+    std::cerr << "usage: " << bench_name
+              << " [--threads=1,2,8] [--json=PATH] [--seed=S]";
+    if (!extra_usage.empty()) std::cerr << ' ' << extra_usage;
+    std::cerr << '\n';
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      a.threads = parse_uint_list(arg.substr(10));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      a.json_path = std::string(arg.substr(7));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      char* end = nullptr;
+      const std::string text(arg.substr(7));
+      a.seed = std::strtoull(text.c_str(), &end, 10);
+      if (end == text.c_str() || *end != '\0') {
+        std::cerr << "error: --seed needs a decimal integer\n";
+        usage();
+        return std::nullopt;
+      }
+    } else if (extra != nullptr) {
+      extra->emplace_back(arg);
+    } else {
+      usage();
+      return std::nullopt;
+    }
+  }
+
+  std::sort(a.threads.begin(), a.threads.end());
+  a.threads.erase(std::unique(a.threads.begin(), a.threads.end()),
+                  a.threads.end());
+  if (a.threads.empty()) {
+    std::cerr << "error: --threads needs at least one positive count\n";
+    usage();
+    return std::nullopt;
+  }
+  return a;
+}
+
+}  // namespace dwi::bench

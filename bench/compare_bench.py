@@ -6,13 +6,18 @@ table3_runtime / fig5_worksizes, compare the fresh JSON artifact to
 bench/baselines/<name>.json and fail (exit 1) when a matching sweep
 entry's wall time regressed more than --max-regression (default 25%).
 
-Matching: sweep entries are keyed by their "threads" field; the metric
-compared is "wall_seconds" (lower is better). Entries present only on
-one side are reported but not fatal (sweeps may grow). Artifacts with
-different "bench" names or "schema_version"s are never compared. A baseline captures
-one machine's numbers — refresh it (see docs/PERF.md) when the CI
-hardware or the build profile changes, not to paper over a real
-regression.
+Matching: sweep entries are keyed by their "threads" field. Three
+metrics are compared when present on both sides: "wall_seconds" and
+"latency_p99_seconds" (lower is better, fail when the fresh value
+exceeds baseline by more than --max-regression) and "throughput_rps"
+(higher is better, fail when the fresh value drops below baseline by
+more than --max-regression) — so the serve bench's latency/throughput
+regress the same way the simulation benches' wall times do. Entries
+present only on one side are reported but not fatal (sweeps may grow).
+Artifacts with different "bench" names or "schema_version"s are never
+compared. A baseline captures one machine's numbers — refresh it (see
+docs/PERF.md) when the CI hardware or the build profile changes, not
+to paper over a real regression.
 
 Also enforces correctness flags carried by the artifact: any
 "identical_across_threads": false in the fresh run is always fatal.
@@ -83,27 +88,37 @@ def main():
     bsweep = sweep_by_threads(base)
     fsweep = sweep_by_threads(fresh)
 
+    # (metric, lower_is_better): wall time and tail latency regress
+    # upward, throughput regresses downward.
+    metrics = [("wall_seconds", True),
+               ("latency_p99_seconds", True),
+               ("throughput_rps", False)]
+
     compared = 0
     for threads, bentry in sorted(bsweep.items()):
         fentry = fsweep.get(threads)
         if fentry is None:
             print(f"note: baseline threads={threads} missing from fresh run")
             continue
-        bs = bentry.get("wall_seconds")
-        fs = fentry.get("wall_seconds")
-        if not bs or not fs:
-            continue
-        compared += 1
-        ratio = fs / bs
-        status = "ok"
-        if ratio > 1.0 + args.max_regression:
-            status = "REGRESSION"
-            failures.append(
-                f"threads={threads}: wall_seconds {fs:.3f} vs baseline "
-                f"{bs:.3f} ({ratio:.2f}x, limit "
-                f"{1.0 + args.max_regression:.2f}x)")
-        print(f"threads={threads}: wall_seconds {fs:.3f} vs {bs:.3f} "
-              f"baseline ({ratio:.2f}x) {status}")
+        for metric, lower_is_better in metrics:
+            bs = bentry.get(metric)
+            fs = fentry.get(metric)
+            if not bs or not fs:
+                continue
+            compared += 1
+            ratio = fs / bs
+            limit = (1.0 + args.max_regression if lower_is_better
+                     else 1.0 / (1.0 + args.max_regression))
+            regressed = (ratio > limit if lower_is_better
+                         else ratio < limit)
+            status = "ok"
+            if regressed:
+                status = "REGRESSION"
+                failures.append(
+                    f"threads={threads}: {metric} {fs:.4g} vs baseline "
+                    f"{bs:.4g} ({ratio:.2f}x, limit {limit:.2f}x)")
+            print(f"threads={threads}: {metric} {fs:.4g} vs {bs:.4g} "
+                  f"baseline ({ratio:.2f}x) {status}")
 
     if compared == 0:
         failures.append("no comparable sweep entries (schema mismatch?)")

@@ -15,6 +15,7 @@
 #include <string_view>
 #include <vector>
 
+#include "bench_args.h"
 #include "bench_json.h"
 #include "common/table.h"
 #include "exec/parallel_for.h"
@@ -26,32 +27,16 @@ int main(int argc, char** argv) {
   using namespace dwi;
   using simt::PlatformId;
 
-  std::vector<unsigned> sweep_threads = {
-      1, exec::ExecConfig::from_env().resolved()};
-  std::string json_path = "BENCH_fig5.json";
-  for (int a = 1; a < argc; ++a) {
-    const std::string_view arg = argv[a];
-    if (arg.rfind("--threads=", 0) == 0) {
-      sweep_threads = bench::parse_uint_list(arg.substr(10));
-    } else if (arg.rfind("--json=", 0) == 0) {
-      json_path = std::string(arg.substr(7));
-    } else {
-      std::cerr << "usage: fig5_worksizes [--threads=1,2,8] [--json=PATH]\n";
-      return 2;
-    }
-  }
-  std::sort(sweep_threads.begin(), sweep_threads.end());
-  sweep_threads.erase(
-      std::unique(sweep_threads.begin(), sweep_threads.end()),
-      sweep_threads.end());
-  if (sweep_threads.empty()) {
-    std::cerr << "error: --threads needs at least one positive count\n";
-    return 2;
-  }
+  const auto args =
+      bench::parse_bench_args(argc, argv, "fig5_worksizes",
+                              "BENCH_fig5.json");
+  if (!args) return 2;
+  const std::vector<unsigned>& sweep_threads = args->threads;
+  const std::string& json_path = args->json_path;
 
   // Explicit estimator seed, recorded in the JSON artifact so baseline
   // comparisons know the runs match.
-  constexpr std::uint32_t kSeed = 1;
+  const auto kSeed = static_cast<std::uint32_t>(args->seed);
   std::cout << "seed: " << kSeed << "\n";
   const rng::AppConfig& c1 = rng::config(rng::ConfigId::kConfig1);
   const rng::AppConfig& c3 = rng::config(rng::ConfigId::kConfig3);

@@ -19,6 +19,7 @@
 #include <string_view>
 #include <vector>
 
+#include "bench_args.h"
 #include "bench_json.h"
 #include "common/table.h"
 #include "core/fpga_app.h"
@@ -57,28 +58,12 @@ int main(int argc, char** argv) {
   using namespace dwi;
   using rng::NormalTransform;
 
-  std::vector<unsigned> sweep_threads = {
-      1, exec::ExecConfig::from_env().resolved()};
-  std::string json_path = "BENCH_table3.json";
-  for (int a = 1; a < argc; ++a) {
-    const std::string_view arg = argv[a];
-    if (arg.rfind("--threads=", 0) == 0) {
-      sweep_threads = bench::parse_uint_list(arg.substr(10));
-    } else if (arg.rfind("--json=", 0) == 0) {
-      json_path = std::string(arg.substr(7));
-    } else {
-      std::cerr << "usage: table3_runtime [--threads=1,2,8] [--json=PATH]\n";
-      return 2;
-    }
-  }
-  std::sort(sweep_threads.begin(), sweep_threads.end());
-  sweep_threads.erase(
-      std::unique(sweep_threads.begin(), sweep_threads.end()),
-      sweep_threads.end());
-  if (sweep_threads.empty()) {
-    std::cerr << "error: --threads needs at least one positive count\n";
-    return 2;
-  }
+  const auto args =
+      bench::parse_bench_args(argc, argv, "table3_runtime",
+                              "BENCH_table3.json");
+  if (!args) return 2;
+  const std::vector<unsigned>& sweep_threads = args->threads;
+  const std::string& json_path = args->json_path;
 
   std::cout << "=== Table I: Simulation Setup (application configurations) "
                "===\n";
@@ -101,7 +86,7 @@ int main(int argc, char** argv) {
   fw.scale_divisor = 512;
   // One explicit seed for every simulation in this bench: it lands in
   // the JSON artifact so baseline comparisons know the runs match.
-  constexpr std::uint32_t kSeed = 1;
+  const auto kSeed = static_cast<std::uint32_t>(args->seed);
   std::cout << "seed: " << kSeed << "\n";
 
   const double paper[4][4] = {{3825, 2479, 996, 701},

@@ -8,14 +8,31 @@
 
 namespace dwi::exec {
 
+unsigned ExecConfig::parse_threads(std::string_view text) {
+  DWI_REQUIRE(!text.empty(),
+              "DWI_THREADS is set but empty; unset it for the hardware "
+              "default or give a thread count in [1, 4096]");
+  unsigned long v = 0;
+  for (const char c : text) {
+    DWI_REQUIRE(c >= '0' && c <= '9',
+                "DWI_THREADS must be a plain positive decimal (got \"" +
+                    std::string(text) + "\")");
+    v = v * 10ul + static_cast<unsigned long>(c - '0');
+    DWI_REQUIRE(v <= kMaxThreads,
+                "DWI_THREADS=" + std::string(text) + " exceeds the sanity "
+                "cap of " + std::to_string(kMaxThreads) + " threads");
+  }
+  DWI_REQUIRE(v > 0,
+              "DWI_THREADS=0 is not a valid thread count; unset the "
+              "variable for the hardware default or use DWI_THREADS=1 "
+              "for serial execution");
+  return static_cast<unsigned>(v);
+}
+
 ExecConfig ExecConfig::from_env() {
   ExecConfig cfg;
   if (const char* env = std::getenv("DWI_THREADS")) {
-    char* end = nullptr;
-    const unsigned long v = std::strtoul(env, &end, 10);
-    if (end != env && *end == '\0' && v > 0 && v <= 4096) {
-      cfg.threads = static_cast<unsigned>(v);
-    }
+    cfg.threads = parse_threads(env);
   }
   return cfg;
 }

@@ -15,10 +15,13 @@
 // bit-identical; tests/test_exec.cpp enforces this.
 //
 // Thread count resolution (ExecConfig): the DWI_THREADS environment
-// variable when set and positive, else std::thread::hardware_concurrency.
-// Benches override it programmatically (set_thread_count) for their
-// --threads sweeps. DWI_THREADS=1 disables the pool entirely: every
-// call site degrades to the plain serial loop.
+// variable when set, else std::thread::hardware_concurrency. A set
+// DWI_THREADS must be a positive decimal count no larger than
+// kMaxThreads — anything else (empty, "0", non-numeric, absurd) throws
+// dwi::Error instead of silently misconfiguring the pool. Benches
+// override it programmatically (set_thread_count) for their --threads
+// sweeps. DWI_THREADS=1 disables the pool entirely: every call site
+// degrades to the plain serial loop.
 #pragma once
 
 #include <condition_variable>
@@ -26,6 +29,7 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -33,12 +37,24 @@ namespace dwi::exec {
 
 /// Thread-count configuration for the process-wide pool.
 struct ExecConfig {
+  /// Upper bound on an explicit thread count: beyond this a request is
+  /// certainly a typo or a unit mixup (e.g. a byte count), not a pool
+  /// size any host supports.
+  static constexpr unsigned kMaxThreads = 4096;
+
   /// Total threads doing work (callers participate, so a pool of
   /// `threads` uses `threads - 1` workers). 0 = auto.
   unsigned threads = 0;
 
-  /// Read DWI_THREADS from the environment (unset, empty, 0 or
-  /// unparsable all mean auto).
+  /// Parse an explicit DWI_THREADS value. Accepts only a plain
+  /// positive decimal in [1, kMaxThreads]; throws dwi::Error for
+  /// empty, non-numeric, zero, negative, or out-of-range text. Never
+  /// returns 0.
+  static unsigned parse_threads(std::string_view text);
+
+  /// Read DWI_THREADS from the environment: unset means auto; a set
+  /// value goes through parse_threads (so a bad value throws instead
+  /// of being silently ignored).
   static ExecConfig from_env();
 
   /// Resolve auto to the hardware concurrency (at least 1).

@@ -1,5 +1,7 @@
 #include "rng/jump.h"
 
+#include <mutex>
+
 #include "common/error.h"
 #include "rng/dcmt.h"
 
@@ -85,6 +87,15 @@ MersenneTwister make_jumped(const MtParams& params, std::uint32_t seed,
   return MersenneTwister(params, unpack_state(params, v));
 }
 
+/// chain[j] = T^(stride · 2^j). Grown on demand under the mutex; the
+/// matrix-vector applies in stream() also run under it — they cost
+/// ~dim·words word-ops each, negligible next to the sampling work a
+/// substream feeds, and sharing the lock keeps the growth safe.
+struct SubstreamSplitter::PowerCache {
+  std::mutex mutex;
+  std::vector<Gf2Matrix> chain;
+};
+
 SubstreamSplitter::SubstreamSplitter(const MtParams& params,
                                      std::uint32_t seed,
                                      std::uint64_t stride)
@@ -105,11 +116,21 @@ SubstreamSplitter::SubstreamSplitter(const MtParams& params,
     if (k == 0) break;
     base = base.square();
   }
+  cache_ = std::make_shared<PowerCache>();
+  cache_->chain.push_back(t_stride_);
 }
 
 MersenneTwister SubstreamSplitter::stream(std::uint64_t index) const {
   auto v = seed_state_;
-  if (index > 0) v = apply_power(t_stride_, index, std::move(v));
+  if (index > 0) {
+    std::lock_guard lock(cache_->mutex);
+    std::vector<Gf2Matrix>& chain = cache_->chain;
+    std::uint64_t k = index;
+    for (std::size_t bit = 0; k != 0; k >>= 1, ++bit) {
+      if (bit >= chain.size()) chain.push_back(chain.back().square());
+      if (k & 1u) v = chain[bit].apply(v);
+    }
+  }
   return MersenneTwister(params_, unpack_state(params_, v));
 }
 

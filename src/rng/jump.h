@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "rng/dcmt.h"
@@ -56,7 +57,9 @@ std::vector<MersenneTwister> make_parallel_streams(const MtParams& params,
 /// (key = shard index); this class provides it for the paper's
 /// Mersenne-Twister family.
 ///
-/// const and safe to share across threads after construction.
+/// const and safe to share across threads after construction
+/// (stream() serializes internally on a small lock while it applies
+/// cached matrix powers; the expensive squarings are computed once).
 class SubstreamSplitter {
  public:
   /// Requires a small DCMT geometry (period exponent <= 1300, e.g.
@@ -66,17 +69,25 @@ class SubstreamSplitter {
                     std::uint64_t stride);
 
   /// Generator equal to MersenneTwister(params, seed) with the first
-  /// `index * stride()` outputs discarded.
+  /// `index * stride()` outputs discarded. Amortized cost per call is
+  /// popcount(index) matrix-vector applies: the squaring chain
+  /// T^(stride·2^j) is grown lazily and cached across calls, so
+  /// high-rate callers (the serving layer derives one substream block
+  /// per request) pay the matrix-matrix work only the first time a
+  /// new high bit appears.
   MersenneTwister stream(std::uint64_t index) const;
 
   std::uint64_t stride() const { return stride_; }
   const MtParams& params() const { return params_; }
 
  private:
+  struct PowerCache;  ///< lazily grown squaring chain (jump.cpp)
+
   MtParams params_;
   std::uint64_t stride_;
   std::vector<std::uint64_t> seed_state_;  ///< packed GF(2) seed vector
   Gf2Matrix t_stride_;                     ///< transition matrix ^ stride
+  std::shared_ptr<PowerCache> cache_;      ///< shared by copies
 };
 
 }  // namespace dwi::rng

@@ -1,0 +1,99 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace dwi::serve {
+
+LatencySummary summarize_latencies(std::vector<double> seconds) {
+  LatencySummary s;
+  if (seconds.empty()) return s;
+  std::sort(seconds.begin(), seconds.end());
+  s.count = seconds.size();
+  s.min_seconds = seconds.front();
+  s.max_seconds = seconds.back();
+  double sum = 0.0;
+  for (const double v : seconds) sum += v;
+  s.mean_seconds = sum / static_cast<double>(seconds.size());
+  const auto rank = [&](double q) {
+    // Nearest-rank: the smallest sample with at least q of the mass
+    // at or below it.
+    const auto n = static_cast<double>(seconds.size());
+    const auto idx =
+        static_cast<std::size_t>(std::ceil(q * n)) - std::size_t{1};
+    return seconds[std::min(idx, seconds.size() - 1)];
+  };
+  s.p50_seconds = rank(0.50);
+  s.p95_seconds = rank(0.95);
+  s.p99_seconds = rank(0.99);
+  return s;
+}
+
+void ServerMetrics::record_submitted() {
+  std::lock_guard lock(mutex_);
+  ++submitted_;
+}
+
+void ServerMetrics::record_rejected(ServeStatus status) {
+  std::lock_guard lock(mutex_);
+  switch (status) {
+    case ServeStatus::kQueueFull: ++rejected_full_; break;
+    case ServeStatus::kInvalidRequest: ++rejected_invalid_; break;
+    case ServeStatus::kShuttingDown: ++rejected_shutdown_; break;
+    case ServeStatus::kAdmitted: DWI_ASSERT(false && "not a rejection");
+  }
+}
+
+void ServerMetrics::record_admitted(std::size_t queue_depth) {
+  std::lock_guard lock(mutex_);
+  ++admitted_;
+  queue_high_water_ = std::max(queue_high_water_, queue_depth);
+}
+
+void ServerMetrics::record_batch(std::size_t occupancy) {
+  std::lock_guard lock(mutex_);
+  ++batches_;
+  batched_requests_ += occupancy;
+  max_batch_occupancy_ = std::max(max_batch_occupancy_, occupancy);
+}
+
+void ServerMetrics::record_completed(double latency_seconds) {
+  std::lock_guard lock(mutex_);
+  ++completed_;
+  latencies_.push_back(latency_seconds);
+}
+
+void ServerMetrics::record_failed(double latency_seconds) {
+  std::lock_guard lock(mutex_);
+  ++failed_;
+  latencies_.push_back(latency_seconds);
+}
+
+MetricsSnapshot ServerMetrics::snapshot() const {
+  std::vector<double> latencies;
+  MetricsSnapshot s;
+  {
+    std::lock_guard lock(mutex_);
+    s.submitted = submitted_;
+    s.admitted = admitted_;
+    s.rejected_full = rejected_full_;
+    s.rejected_invalid = rejected_invalid_;
+    s.rejected_shutdown = rejected_shutdown_;
+    s.completed = completed_;
+    s.failed = failed_;
+    s.queue_high_water = queue_high_water_;
+    s.batches = batches_;
+    s.max_batch_occupancy = max_batch_occupancy_;
+    s.mean_batch_occupancy =
+        batches_ == 0 ? 0.0
+                      : static_cast<double>(batched_requests_) /
+                            static_cast<double>(batches_);
+    latencies = latencies_;
+  }
+  s.latency = summarize_latencies(std::move(latencies));
+  return s;
+}
+
+}  // namespace dwi::serve

@@ -1,0 +1,81 @@
+// Serving metrics: admission counters, queue depth, batch occupancy
+// and per-request latency with order-statistic summaries.
+//
+// The recorder is deliberately simple — one mutex, plain counters, a
+// latency sample vector — because the serving hot path (the batch
+// compute itself) runs on the exec pool and touches the recorder once
+// per request, not per sample. snapshot() is the only reader and
+// copies everything out, so a live server can be observed at any time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace dwi::serve {
+
+/// Order statistics over a latency sample set (nearest-rank
+/// percentiles, the convention load-testing tools report).
+struct LatencySummary {
+  std::size_t count = 0;
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+  double mean_seconds = 0.0;
+  double p50_seconds = 0.0;
+  double p95_seconds = 0.0;
+  double p99_seconds = 0.0;
+};
+
+/// Nearest-rank summary of `seconds` (consumed; empty input yields an
+/// all-zero summary).
+LatencySummary summarize_latencies(std::vector<double> seconds);
+
+/// Point-in-time copy of every metric the server tracks. The latency
+/// summary covers *completed* requests, admission→completion.
+struct MetricsSnapshot {
+  std::uint64_t submitted = 0;          ///< all submission attempts
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_full = 0;      ///< backpressure rejections
+  std::uint64_t rejected_invalid = 0;
+  std::uint64_t rejected_shutdown = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;             ///< future carries an exception
+  std::size_t queue_high_water = 0;     ///< max observed admission depth
+  std::uint64_t batches = 0;            ///< batches dispatched
+  std::size_t max_batch_occupancy = 0;
+  double mean_batch_occupancy = 0.0;    ///< requests per batch
+  LatencySummary latency;
+};
+
+class ServerMetrics {
+ public:
+  void record_submitted();
+  void record_rejected(ServeStatus status);
+  /// `queue_depth`: admission queue occupancy right after the push.
+  void record_admitted(std::size_t queue_depth);
+  void record_batch(std::size_t occupancy);
+  void record_completed(double latency_seconds);
+  void record_failed(double latency_seconds);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_full_ = 0;
+  std::uint64_t rejected_invalid_ = 0;
+  std::uint64_t rejected_shutdown_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::size_t queue_high_water_ = 0;
+  std::uint64_t batches_ = 0;
+  std::size_t max_batch_occupancy_ = 0;
+  std::uint64_t batched_requests_ = 0;
+  std::vector<double> latencies_;
+};
+
+}  // namespace dwi::serve

@@ -1,0 +1,15 @@
+#include "serve/request.h"
+
+namespace dwi::serve {
+
+const char* to_string(ServeStatus s) {
+  switch (s) {
+    case ServeStatus::kAdmitted: return "admitted";
+    case ServeStatus::kQueueFull: return "queue-full";
+    case ServeStatus::kShuttingDown: return "shutting-down";
+    case ServeStatus::kInvalidRequest: return "invalid-request";
+  }
+  return "unknown";
+}
+
+}  // namespace dwi::serve

@@ -1,0 +1,91 @@
+// Typed requests and responses of the sampling service (src/serve).
+//
+// The serving layer exposes the paper's two workloads as multi-tenant
+// request types: raw Marsaglia-Tsang gamma batches (the work-item
+// kernel of Listing 2) and full CreditRisk+ portfolio loss
+// distributions (§II-D4, the consumer those gammas exist for). Both
+// carry a *client-assigned* request id: the id, together with the
+// server seed, fully determines the request's RNG substream, so a
+// request's result is a pure function of (server_seed, request
+// content) — never of arrival order, batching decisions or thread
+// count. See docs/SERVE.md for the determinism contract.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "finance/portfolio.h"
+#include "rng/normal.h"
+
+namespace dwi::serve {
+
+/// Client-assigned request identity. Ids select disjoint jump-ahead
+/// substream blocks; clients must keep them unique per server if they
+/// want statistically independent results (reusing an id deliberately
+/// replays the exact same stream — useful for idempotent retries).
+using RequestId = std::uint64_t;
+
+/// Admission verdict for a submission attempt.
+enum class ServeStatus {
+  kAdmitted,        ///< queued; the future will be fulfilled
+  kQueueFull,       ///< bounded admission queue is full — back off and retry
+  kShuttingDown,    ///< server no longer accepts work
+  kInvalidRequest,  ///< request failed validation (limits, parameters)
+};
+
+const char* to_string(ServeStatus s);
+
+/// Typed rejection thrown by the throwing submit()/run() wrappers.
+/// try_submit() reports the same condition as a return status instead.
+class RejectedError : public Error {
+ public:
+  RejectedError(ServeStatus status, const std::string& what)
+      : Error(what), status_(status) {}
+
+  ServeStatus status() const { return status_; }
+
+ private:
+  ServeStatus status_;
+};
+
+/// A batch of Gamma(alpha, scale) variates.
+struct GammaRequest {
+  RequestId id = 0;
+  float alpha = 1.0f;        ///< shape; must be > 0
+  float scale = 1.0f;        ///< scale; must be > 0
+  std::uint32_t count = 0;   ///< variates requested; must be in (0, max]
+  /// Uniform→normal transform for the nested sampler (§II-D3). The
+  /// default is the paper's Config1/2 choice.
+  rng::NormalTransform transform = rng::NormalTransform::kMarsagliaBray;
+};
+
+struct GammaResult {
+  RequestId id = 0;
+  std::vector<float> samples;
+  std::uint64_t attempts = 0;  ///< main-loop iterations spent
+  std::uint64_t accepted = 0;  ///< == samples.size()
+};
+
+/// A CreditRisk+ Monte-Carlo loss-distribution job over a shared
+/// (immutable) portfolio. One gamma substream per sector plus a
+/// derived Poisson seed, all keyed by (server_seed, id).
+struct CreditRiskRequest {
+  RequestId id = 0;
+  std::shared_ptr<const finance::Portfolio> portfolio;
+  std::uint64_t num_scenarios = 0;  ///< must be in [2, max]
+};
+
+struct CreditRiskResult {
+  RequestId id = 0;
+  std::uint64_t scenarios = 0;
+  double mean = 0.0;
+  double variance = 0.0;
+  double var95 = 0.0;   ///< VaR at 95%
+  double var999 = 0.0;  ///< VaR at 99.9% (the regulatory quantile)
+  double es999 = 0.0;   ///< expected shortfall beyond var999
+};
+
+}  // namespace dwi::serve

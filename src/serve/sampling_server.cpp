@@ -1,0 +1,237 @@
+#include "serve/sampling_server.h"
+
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "finance/creditrisk_plus.h"
+#include "rng/gamma.h"
+
+namespace dwi::serve {
+
+namespace {
+
+/// splitmix64 finalizer: mixes (server_seed, request_id) into the
+/// Poisson seed so CreditRisk+ scenario noise is decorrelated across
+/// requests yet fully reproducible.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double duration_seconds(std::chrono::steady_clock::time_point from,
+                        std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+SamplingServer::SamplingServer(ServeConfig cfg)
+    : cfg_(cfg),
+      splitter_(cfg.mt, cfg.server_seed, cfg.substream_stride) {
+  DWI_REQUIRE(cfg_.substreams_per_request >= 2,
+              "serve: need at least one gamma slot and one sector slot "
+              "per request id");
+  SchedulerConfig sched;
+  sched.queue_capacity = cfg_.queue_capacity;
+  sched.max_batch = cfg_.max_batch;
+  sched.batching = cfg_.batching;
+  scheduler_ = std::make_unique<BatchScheduler>(sched, &metrics_);
+}
+
+SamplingServer::~SamplingServer() { shutdown(); }
+
+void SamplingServer::shutdown() { scheduler_->shutdown(); }
+
+rng::MersenneTwister SamplingServer::gamma_stream(RequestId id) const {
+  return splitter_.stream(id * cfg_.substreams_per_request);
+}
+
+rng::MersenneTwister SamplingServer::sector_stream(RequestId id,
+                                                   std::size_t k) const {
+  DWI_REQUIRE(k + 1 < cfg_.substreams_per_request,
+              "serve: sector index exceeds the request's substream block");
+  return splitter_.stream(id * cfg_.substreams_per_request + 1 + k);
+}
+
+std::uint64_t SamplingServer::poisson_seed(RequestId id) const {
+  return mix64((static_cast<std::uint64_t>(cfg_.server_seed) << 32) ^ id);
+}
+
+ServeStatus SamplingServer::validate(const GammaRequest& req) const {
+  if (req.count == 0 || req.count > cfg_.max_gamma_count) {
+    return ServeStatus::kInvalidRequest;
+  }
+  if (!(req.alpha > 0.0f) || !std::isfinite(req.alpha)) {
+    return ServeStatus::kInvalidRequest;
+  }
+  if (!(req.scale > 0.0f) || !std::isfinite(req.scale)) {
+    return ServeStatus::kInvalidRequest;
+  }
+  if (req.id > (~std::uint64_t{0}) / cfg_.substreams_per_request - 1) {
+    return ServeStatus::kInvalidRequest;  // substream index would wrap
+  }
+  return ServeStatus::kAdmitted;
+}
+
+ServeStatus SamplingServer::validate(const CreditRiskRequest& req) const {
+  if (!req.portfolio) return ServeStatus::kInvalidRequest;
+  if (req.num_scenarios < 2 || req.num_scenarios > cfg_.max_scenarios) {
+    return ServeStatus::kInvalidRequest;
+  }
+  const std::size_t sectors = req.portfolio->num_sectors();
+  if (sectors == 0 || sectors > cfg_.substreams_per_request - 1) {
+    return ServeStatus::kInvalidRequest;
+  }
+  if (req.id > (~std::uint64_t{0}) / cfg_.substreams_per_request - 1) {
+    return ServeStatus::kInvalidRequest;
+  }
+  return ServeStatus::kAdmitted;
+}
+
+GammaResult SamplingServer::compute(const GammaRequest& req) const {
+  rng::MersenneTwister mt = gamma_stream(req.id);
+  rng::GammaSampler sampler(rng::GammaConstants::make(req.alpha, req.scale),
+                            req.transform);
+  GammaResult res;
+  res.id = req.id;
+  res.samples.resize(req.count);
+  sampler.sample_block(mt, res.samples.data(), res.samples.size());
+  res.attempts = sampler.attempts();
+  res.accepted = sampler.accepted();
+  return res;
+}
+
+CreditRiskResult SamplingServer::compute(const CreditRiskRequest& req) const {
+  const finance::Portfolio& portfolio = *req.portfolio;
+  struct SectorStream {
+    rng::GammaSampler sampler;
+    rng::MersenneTwister mt;
+  };
+  std::vector<SectorStream> streams;
+  streams.reserve(portfolio.num_sectors());
+  for (std::size_t k = 0; k < portfolio.num_sectors(); ++k) {
+    streams.push_back(SectorStream{
+        rng::GammaSampler(
+            rng::GammaConstants::from_sector_variance(
+                static_cast<float>(portfolio.sectors()[k].variance)),
+            rng::NormalTransform::kMarsagliaBray),
+        sector_stream(req.id, k)});
+  }
+  const finance::GammaSource source =
+      [&streams](std::uint64_t, std::size_t sector) -> double {
+    SectorStream& s = streams[sector];
+    return static_cast<double>(
+        s.sampler.sample([&s] { return s.mt.next(); }));
+  };
+
+  finance::McConfig mc;
+  mc.num_scenarios = req.num_scenarios;
+  mc.seed = poisson_seed(req.id);
+  const finance::LossDistribution dist =
+      finance::simulate_losses(portfolio, mc, source);
+
+  CreditRiskResult res;
+  res.id = req.id;
+  res.scenarios = dist.scenarios();
+  res.mean = dist.mean();
+  res.variance = dist.variance();
+  res.var95 = dist.value_at_risk(0.95);
+  res.var999 = dist.value_at_risk(0.999);
+  res.es999 = dist.expected_shortfall(0.999);
+  return res;
+}
+
+template <typename Request, typename Result>
+ServeStatus SamplingServer::submit_impl(RequestKind kind, const Request& req,
+                                        std::future<Result>* out) {
+  metrics_.record_submitted();
+  const ServeStatus valid = validate(req);
+  if (valid != ServeStatus::kAdmitted) {
+    metrics_.record_rejected(valid);
+    return valid;
+  }
+
+  auto promise = std::make_shared<std::promise<Result>>();
+  std::future<Result> future = promise->get_future();
+  const auto admitted_at = std::chrono::steady_clock::now();
+
+  Job job;
+  job.kind = kind;
+  job.request_id = req.id;
+  job.admitted_at = admitted_at;
+  // The job owns everything it touches (scheduler contract); `this`
+  // outlives it because shutdown() drains before the server dies.
+  // Metrics are recorded before the promise is fulfilled so a caller
+  // that sees the future ready also sees the completion counted.
+  job.run = [this, req, promise, admitted_at] {
+    try {
+      Result result = compute(req);
+      metrics_.record_completed(duration_seconds(
+          admitted_at, std::chrono::steady_clock::now()));
+      promise->set_value(std::move(result));
+    } catch (...) {
+      metrics_.record_failed(duration_seconds(
+          admitted_at, std::chrono::steady_clock::now()));
+      promise->set_exception(std::current_exception());
+    }
+  };
+
+  const ServeStatus status = scheduler_->try_enqueue(std::move(job));
+  if (status != ServeStatus::kAdmitted) {
+    metrics_.record_rejected(status);
+    return status;
+  }
+  *out = std::move(future);
+  return ServeStatus::kAdmitted;
+}
+
+ServeStatus SamplingServer::try_submit(const GammaRequest& req,
+                                       std::future<GammaResult>* out) {
+  DWI_ASSERT(out != nullptr);
+  return submit_impl<GammaRequest, GammaResult>(RequestKind::kGamma, req, out);
+}
+
+ServeStatus SamplingServer::try_submit(const CreditRiskRequest& req,
+                                       std::future<CreditRiskResult>* out) {
+  DWI_ASSERT(out != nullptr);
+  return submit_impl<CreditRiskRequest, CreditRiskResult>(
+      RequestKind::kCreditRisk, req, out);
+}
+
+std::future<GammaResult> SamplingServer::submit(const GammaRequest& req) {
+  std::future<GammaResult> f;
+  const ServeStatus s = try_submit(req, &f);
+  if (s != ServeStatus::kAdmitted) {
+    throw RejectedError(
+        s, std::string("serve: gamma request rejected: ") + to_string(s));
+  }
+  return f;
+}
+
+std::future<CreditRiskResult> SamplingServer::submit(
+    const CreditRiskRequest& req) {
+  std::future<CreditRiskResult> f;
+  const ServeStatus s = try_submit(req, &f);
+  if (s != ServeStatus::kAdmitted) {
+    throw RejectedError(
+        s, std::string("serve: credit-risk request rejected: ") +
+               to_string(s));
+  }
+  return f;
+}
+
+GammaResult SamplingServer::run(const GammaRequest& req) {
+  return submit(req).get();
+}
+
+CreditRiskResult SamplingServer::run(const CreditRiskRequest& req) {
+  return submit(req).get();
+}
+
+}  // namespace dwi::serve

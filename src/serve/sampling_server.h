@@ -1,0 +1,128 @@
+// SamplingServer: sampling-as-a-service over the repo's deterministic
+// parallel machinery.
+//
+// The ROADMAP's north star is a service shape — many tenants, heavy
+// traffic — and the paper's core asset (fully decoupled work-items
+// that synchronize only at a shared channel) is exactly what a
+// multi-tenant sampling backend needs: every request is an independent
+// work-item. This server is the request/response layer every future
+// scaling PR (sharding, multi-backend dispatch, result caching) plugs
+// into.
+//
+// Pipeline: submit() validates and admits into the BatchScheduler's
+// bounded FIFO (reject-with-typed-error on overload — the caller is
+// never blocked indefinitely); the scheduler coalesces same-kind runs
+// into batches and fans them out over the process-wide exec pool; each
+// request computes on RNG substreams derived from
+// (server_seed, request_id) via the GF(2) jump-ahead
+// rng::SubstreamSplitter.
+//
+// Determinism contract (pinned by tests/test_serve.cpp): a request's
+// result is a pure function of the server seed and the request itself.
+// Request id r owns substream indices
+//   [r · substreams_per_request, (r+1) · substreams_per_request)
+// of the master MT(521) sequence — gamma requests use slot 0, a
+// CreditRisk+ request uses slot 1+k for sector k plus a Poisson seed
+// mixed from (server_seed, id). Arrival order, batch boundaries,
+// DWI_THREADS, and batching on/off cannot move a single bit of any
+// response.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+
+#include "rng/jump.h"
+#include "rng/mersenne_twister.h"
+#include "serve/batch_scheduler.h"
+#include "serve/metrics.h"
+#include "serve/request.h"
+
+namespace dwi::serve {
+
+struct ServeConfig {
+  /// Master seed of the substream splitter; the whole service's output
+  /// is a deterministic function of this and the request stream.
+  std::uint32_t server_seed = 1;
+
+  std::size_t queue_capacity = 256;
+  std::size_t max_batch = 16;
+  bool batching = true;
+
+  /// Per-request limits (violations reject with kInvalidRequest).
+  std::uint32_t max_gamma_count = 1u << 20;
+  std::uint64_t max_scenarios = 1u << 20;
+
+  /// Substream indices reserved per request id: slot 0 for gamma, slots
+  /// 1..substreams_per_request-1 for CreditRisk+ sectors (so a
+  /// portfolio may have at most substreams_per_request - 1 sectors).
+  std::uint64_t substreams_per_request = 16;
+
+  /// Master-sequence outputs reserved per substream. Must cover the
+  /// worst-case uniform consumption of one request slot; the default
+  /// gives max_gamma_count samples a 64-uniform budget each (the
+  /// Marsaglia-Tsang expectation is ~4–6).
+  std::uint64_t substream_stride = 1ull << 26;
+
+  /// Splitter geometry. Jump-ahead needs a small-period member of the
+  /// MT family (rng/jump.h) — the paper's MT(521) by default.
+  rng::MtParams mt = rng::mt521_params();
+};
+
+class SamplingServer {
+ public:
+  explicit SamplingServer(ServeConfig cfg = {});
+  ~SamplingServer();  ///< shutdown(): drains in-flight work
+
+  SamplingServer(const SamplingServer&) = delete;
+  SamplingServer& operator=(const SamplingServer&) = delete;
+
+  /// Non-blocking admission: on kAdmitted, *out receives the future;
+  /// any other status leaves *out untouched. Never blocks, never
+  /// throws on overload.
+  ServeStatus try_submit(const GammaRequest& req,
+                         std::future<GammaResult>* out);
+  ServeStatus try_submit(const CreditRiskRequest& req,
+                         std::future<CreditRiskResult>* out);
+
+  /// Throwing wrappers: return the future or throw RejectedError.
+  std::future<GammaResult> submit(const GammaRequest& req);
+  std::future<CreditRiskResult> submit(const CreditRiskRequest& req);
+
+  /// Synchronous convenience: submit and wait.
+  GammaResult run(const GammaRequest& req);
+  CreditRiskResult run(const CreditRiskRequest& req);
+
+  /// Stop admitting, drain every admitted request, fulfill every
+  /// accepted future. Idempotent.
+  void shutdown();
+
+  MetricsSnapshot metrics() const { return metrics_.snapshot(); }
+  const ServeConfig& config() const { return cfg_; }
+
+  /// The substream a gamma request with this id draws from (exposed so
+  /// tests and offline pipelines can reproduce server results without
+  /// a server).
+  rng::MersenneTwister gamma_stream(RequestId id) const;
+  /// The substream sector `k` of CreditRisk+ request `id` draws from.
+  rng::MersenneTwister sector_stream(RequestId id, std::size_t k) const;
+  /// The Poisson seed CreditRisk+ request `id` conditions on.
+  std::uint64_t poisson_seed(RequestId id) const;
+
+ private:
+  ServeStatus validate(const GammaRequest& req) const;
+  ServeStatus validate(const CreditRiskRequest& req) const;
+  GammaResult compute(const GammaRequest& req) const;
+  CreditRiskResult compute(const CreditRiskRequest& req) const;
+
+  template <typename Request, typename Result>
+  ServeStatus submit_impl(RequestKind kind, const Request& req,
+                          std::future<Result>* out);
+
+  ServeConfig cfg_;
+  rng::SubstreamSplitter splitter_;
+  ServerMetrics metrics_;
+  std::unique_ptr<BatchScheduler> scheduler_;  ///< last member: drains first
+};
+
+}  // namespace dwi::serve

@@ -125,12 +125,39 @@ TEST(ParallelReduce, FoldsInIndexOrder) {
 // Thread-count resolution
 // ---------------------------------------------------------------------
 
+TEST(ExecConfig, ParseThreadsAcceptsPlainPositiveCounts) {
+  EXPECT_EQ(exec::ExecConfig::parse_threads("1"), 1u);
+  EXPECT_EQ(exec::ExecConfig::parse_threads("8"), 8u);
+  EXPECT_EQ(exec::ExecConfig::parse_threads("007"), 7u);
+  EXPECT_EQ(exec::ExecConfig::parse_threads("4096"),
+            exec::ExecConfig::kMaxThreads);
+}
+
+TEST(ExecConfig, ParseThreadsRejectsMisconfigurations) {
+  // A silently ignored bad DWI_THREADS used to misconfigure the pool;
+  // each of these must now fail loudly instead.
+  EXPECT_THROW(exec::ExecConfig::parse_threads(""), Error);
+  EXPECT_THROW(exec::ExecConfig::parse_threads("0"), Error);
+  EXPECT_THROW(exec::ExecConfig::parse_threads("000"), Error);
+  EXPECT_THROW(exec::ExecConfig::parse_threads("-2"), Error);
+  EXPECT_THROW(exec::ExecConfig::parse_threads("+4"), Error);
+  EXPECT_THROW(exec::ExecConfig::parse_threads(" 8"), Error);
+  EXPECT_THROW(exec::ExecConfig::parse_threads("8 "), Error);
+  EXPECT_THROW(exec::ExecConfig::parse_threads("4x"), Error);
+  EXPECT_THROW(exec::ExecConfig::parse_threads("not-a-number"), Error);
+  EXPECT_THROW(exec::ExecConfig::parse_threads("0x10"), Error);
+  EXPECT_THROW(exec::ExecConfig::parse_threads("4097"), Error);
+  EXPECT_THROW(exec::ExecConfig::parse_threads("99999999999"), Error);
+}
+
 TEST(ExecConfig, EnvParsingAndOverride) {
   ThreadCountGuard guard;
   ::setenv("DWI_THREADS", "3", 1);
   EXPECT_EQ(exec::ExecConfig::from_env().resolved(), 3u);
   ::setenv("DWI_THREADS", "not-a-number", 1);
-  EXPECT_GE(exec::ExecConfig::from_env().resolved(), 1u);  // falls back
+  EXPECT_THROW(exec::ExecConfig::from_env(), Error);
+  ::setenv("DWI_THREADS", "0", 1);
+  EXPECT_THROW(exec::ExecConfig::from_env(), Error);
   ::unsetenv("DWI_THREADS");
   EXPECT_GE(exec::ExecConfig::from_env().resolved(), 1u);
 

@@ -1,0 +1,527 @@
+// Serving-layer tests (src/serve):
+//   * determinism contract: a fixed request set with a fixed server
+//     seed yields bit-identical per-request results across thread
+//     counts (1, 4, hardware), batching on/off, and shuffled
+//     submission order;
+//   * the served result equals the offline computation on the
+//     request's substream (no hidden server state);
+//   * backpressure: a full admission queue rejects fast with a typed
+//     status, nothing admitted is ever dropped;
+//   * graceful shutdown drains all in-flight work and rejects late
+//     submissions;
+//   * validation rejects malformed requests with kInvalidRequest;
+//   * metrics: counters and nearest-rank latency percentiles;
+//   * RingBuffer / SpscRingBuffer edge cases under the serve workload
+//     shapes (job-sized payloads): full-queue rejection, wraparound at
+//     capacity boundaries, destruction with items still enqueued.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <numeric>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/ring_buffer.h"
+#include "common/spsc_ring_buffer.h"
+#include "exec/thread_pool.h"
+#include "finance/portfolio.h"
+#include "rng/gamma.h"
+#include "serve/batch_scheduler.h"
+#include "serve/metrics.h"
+#include "serve/sampling_server.h"
+
+namespace dwi {
+namespace {
+
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { exec::set_thread_count(0); }
+};
+
+std::shared_ptr<const finance::Portfolio> test_portfolio() {
+  static const auto portfolio =
+      std::make_shared<const finance::Portfolio>(finance::Portfolio::synthetic(
+          16, {{1.39, "representative"}, {0.8, "stable"}}, 7u));
+  return portfolio;
+}
+
+struct RequestItem {
+  bool is_gamma = true;
+  serve::GammaRequest gamma;
+  serve::CreditRiskRequest credit;
+};
+
+std::vector<RequestItem> mixed_request_set() {
+  const float alphas[3] = {0.72f, 1.5f, 4.0f};
+  std::vector<RequestItem> items;
+  for (std::size_t i = 0; i < 18; ++i) {
+    RequestItem item;
+    if (i % 6 == 5) {
+      item.is_gamma = false;
+      item.credit.id = i + 1;
+      item.credit.portfolio = test_portfolio();
+      item.credit.num_scenarios = 64;
+    } else {
+      item.gamma.id = i + 1;
+      item.gamma.alpha = alphas[i % 3];
+      item.gamma.scale = 1.39f;
+      item.gamma.count = 257;  // off a block boundary on purpose
+    }
+    items.push_back(item);
+  }
+  return items;
+}
+
+struct ServedResults {
+  std::vector<serve::GammaResult> gamma;        // by set position
+  std::vector<serve::CreditRiskResult> credit;  // by set position
+};
+
+ServedResults serve_set(serve::SamplingServer& server,
+                        const std::vector<RequestItem>& items,
+                        const std::vector<std::size_t>& order) {
+  std::vector<std::future<serve::GammaResult>> gf(items.size());
+  std::vector<std::future<serve::CreditRiskResult>> cf(items.size());
+  for (const std::size_t i : order) {
+    if (items[i].is_gamma) {
+      gf[i] = server.submit(items[i].gamma);
+    } else {
+      cf[i] = server.submit(items[i].credit);
+    }
+  }
+  ServedResults out;
+  out.gamma.resize(items.size());
+  out.credit.resize(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].is_gamma) {
+      out.gamma[i] = gf[i].get();
+    } else {
+      out.credit[i] = cf[i].get();
+    }
+  }
+  return out;
+}
+
+void expect_identical(const ServedResults& a, const ServedResults& b,
+                      const std::vector<RequestItem>& items) {
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].is_gamma) {
+      ASSERT_EQ(a.gamma[i].id, b.gamma[i].id);
+      ASSERT_EQ(a.gamma[i].attempts, b.gamma[i].attempts);
+      // Bit-identity: the float vectors must match exactly.
+      ASSERT_EQ(a.gamma[i].samples, b.gamma[i].samples) << "request " << i;
+    } else {
+      ASSERT_EQ(a.credit[i].id, b.credit[i].id);
+      ASSERT_EQ(a.credit[i].mean, b.credit[i].mean) << "request " << i;
+      ASSERT_EQ(a.credit[i].variance, b.credit[i].variance);
+      ASSERT_EQ(a.credit[i].var95, b.credit[i].var95);
+      ASSERT_EQ(a.credit[i].var999, b.credit[i].var999);
+      ASSERT_EQ(a.credit[i].es999, b.credit[i].es999);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Determinism contract
+// ---------------------------------------------------------------------
+
+TEST(ServeDeterminism, BitIdenticalAcrossThreadsBatchingAndOrder) {
+  ThreadCountGuard guard;
+  const auto items = mixed_request_set();
+  std::vector<std::size_t> natural(items.size());
+  std::iota(natural.begin(), natural.end(), std::size_t{0});
+  std::vector<std::size_t> shuffled = natural;
+  std::shuffle(shuffled.begin(), shuffled.end(), std::mt19937_64(99));
+
+  serve::ServeConfig cfg;
+  cfg.server_seed = 42;
+  cfg.queue_capacity = items.size() + 1;
+
+  exec::set_thread_count(1);
+  cfg.batching = false;
+  ServedResults reference;
+  {
+    serve::SamplingServer server(cfg);
+    reference = serve_set(server, items, natural);
+  }
+
+  struct Cell {
+    unsigned threads;
+    bool batching;
+    bool shuffle;
+  };
+  const unsigned hw = exec::ExecConfig{}.resolved();
+  for (const Cell cell : {Cell{4, true, false}, Cell{4, false, true},
+                          Cell{hw, true, true}, Cell{1, true, true}}) {
+    exec::set_thread_count(cell.threads);
+    cfg.batching = cell.batching;
+    serve::SamplingServer server(cfg);
+    const ServedResults got =
+        serve_set(server, items, cell.shuffle ? shuffled : natural);
+    expect_identical(reference, got, items);
+  }
+}
+
+TEST(ServeDeterminism, ResubmittingAnIdReplaysTheExactStream) {
+  serve::SamplingServer server;
+  serve::GammaRequest req;
+  req.id = 12345;
+  req.alpha = 0.72f;
+  req.count = 100;
+  const serve::GammaResult a = server.run(req);
+  const serve::GammaResult b = server.run(req);
+  EXPECT_EQ(a.samples, b.samples);
+  EXPECT_EQ(a.attempts, b.attempts);
+}
+
+TEST(ServeDeterminism, MatchesOfflineSubstreamComputation) {
+  serve::ServeConfig cfg;
+  cfg.server_seed = 17;
+  serve::SamplingServer server(cfg);
+
+  serve::GammaRequest req;
+  req.id = 9;
+  req.alpha = 1.5f;
+  req.scale = 2.0f;
+  req.count = 500;
+  const serve::GammaResult served = server.run(req);
+
+  // The same computation with no server: the request's substream from
+  // the splitter geometry the server advertises.
+  rng::MersenneTwister mt = server.gamma_stream(req.id);
+  rng::GammaSampler sampler(rng::GammaConstants::make(req.alpha, req.scale),
+                            req.transform);
+  std::vector<float> expect(req.count);
+  sampler.sample_block(mt, expect.data(), expect.size());
+  EXPECT_EQ(served.samples, expect);
+  EXPECT_EQ(served.attempts, sampler.attempts());
+}
+
+TEST(ServeDeterminism, DistinctIdsGetDisjointSubstreams) {
+  serve::SamplingServer server;
+  // Adjacent ids start stride·substreams_per_request apart in the
+  // master sequence; their first outputs must differ (overlap would
+  // replicate them).
+  rng::MersenneTwister a = server.gamma_stream(1);
+  rng::MersenneTwister b = server.gamma_stream(2);
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) any_diff |= a.next() != b.next();
+  EXPECT_TRUE(any_diff);
+}
+
+// ---------------------------------------------------------------------
+// Backpressure and shutdown
+// ---------------------------------------------------------------------
+
+TEST(ServeBackpressure, FullQueueRejectsFastWithTypedStatus) {
+  serve::ServerMetrics metrics;
+  serve::SchedulerConfig cfg;
+  cfg.queue_capacity = 3;
+  cfg.batching = false;  // the blocker must occupy the scheduler alone
+  serve::BatchScheduler scheduler(cfg, &metrics);
+
+  std::promise<void> started;
+  std::promise<void> release;
+  auto release_future = release.get_future().share();
+  std::atomic<int> ran{0};
+
+  serve::Job blocker;
+  blocker.kind = serve::RequestKind::kGamma;
+  blocker.run = [&, release_future] {
+    started.set_value();
+    release_future.wait();
+    ran.fetch_add(1);
+  };
+  ASSERT_EQ(scheduler.try_enqueue(std::move(blocker)),
+            serve::ServeStatus::kAdmitted);
+  started.get_future().wait();  // scheduler is now stuck in the blocker
+
+  // Fill the queue to capacity behind it.
+  for (std::size_t i = 0; i < cfg.queue_capacity; ++i) {
+    serve::Job job;
+    job.run = [&] { ran.fetch_add(1); };
+    ASSERT_EQ(scheduler.try_enqueue(std::move(job)),
+              serve::ServeStatus::kAdmitted);
+  }
+  EXPECT_EQ(scheduler.queue_depth(), cfg.queue_capacity);
+
+  // Overload: rejected fast, caller never blocked.
+  serve::Job overflow;
+  overflow.run = [&] { ran.fetch_add(1); };
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(scheduler.try_enqueue(std::move(overflow)),
+            serve::ServeStatus::kQueueFull);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 1.0);
+
+  // Nothing admitted is dropped: release and drain.
+  release.set_value();
+  scheduler.shutdown();
+  EXPECT_EQ(ran.load(), 1 + static_cast<int>(cfg.queue_capacity));
+  EXPECT_EQ(metrics.snapshot().admitted,
+            1 + static_cast<std::uint64_t>(cfg.queue_capacity));
+}
+
+TEST(ServeBackpressure, ShutdownDrainsAdmittedWorkAndRejectsLate) {
+  serve::ServeConfig cfg;
+  cfg.queue_capacity = 64;
+  serve::SamplingServer server(cfg);
+
+  std::vector<std::future<serve::GammaResult>> futures;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    serve::GammaRequest req;
+    req.id = i + 1;
+    req.alpha = 1.0f;
+    req.count = 64;
+    futures.push_back(server.submit(req));
+  }
+  server.shutdown();
+
+  // Every admitted future is fulfilled with a real result.
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const serve::GammaResult r = futures[i].get();
+    EXPECT_EQ(r.id, i + 1);
+    EXPECT_EQ(r.samples.size(), 64u);
+  }
+  const serve::MetricsSnapshot m = server.metrics();
+  EXPECT_EQ(m.completed, futures.size());
+  EXPECT_EQ(m.failed, 0u);
+
+  // Late submission: typed rejection, no future.
+  serve::GammaRequest late;
+  late.id = 999;
+  late.count = 8;
+  std::future<serve::GammaResult> f;
+  EXPECT_EQ(server.try_submit(late, &f),
+            serve::ServeStatus::kShuttingDown);
+  try {
+    (void)server.submit(late);
+    FAIL() << "submit after shutdown must throw";
+  } catch (const serve::RejectedError& e) {
+    EXPECT_EQ(e.status(), serve::ServeStatus::kShuttingDown);
+  }
+  EXPECT_EQ(server.metrics().rejected_shutdown, 2u);
+}
+
+TEST(ServeBackpressure, InvalidRequestsRejectWithoutAdmission) {
+  serve::SamplingServer server;
+  std::future<serve::GammaResult> f;
+
+  serve::GammaRequest zero_count;
+  zero_count.id = 1;
+  zero_count.count = 0;
+  EXPECT_EQ(server.try_submit(zero_count, &f),
+            serve::ServeStatus::kInvalidRequest);
+
+  serve::GammaRequest bad_alpha;
+  bad_alpha.id = 2;
+  bad_alpha.alpha = -1.0f;
+  bad_alpha.count = 10;
+  EXPECT_EQ(server.try_submit(bad_alpha, &f),
+            serve::ServeStatus::kInvalidRequest);
+
+  serve::GammaRequest too_big;
+  too_big.id = 3;
+  too_big.count = server.config().max_gamma_count + 1;
+  EXPECT_EQ(server.try_submit(too_big, &f),
+            serve::ServeStatus::kInvalidRequest);
+
+  std::future<serve::CreditRiskResult> cf;
+  serve::CreditRiskRequest no_portfolio;
+  no_portfolio.id = 4;
+  no_portfolio.num_scenarios = 100;
+  EXPECT_EQ(server.try_submit(no_portfolio, &cf),
+            serve::ServeStatus::kInvalidRequest);
+
+  serve::CreditRiskRequest one_scenario;
+  one_scenario.id = 5;
+  one_scenario.portfolio = test_portfolio();
+  one_scenario.num_scenarios = 1;
+  EXPECT_EQ(server.try_submit(one_scenario, &cf),
+            serve::ServeStatus::kInvalidRequest);
+
+  try {
+    (void)server.submit(zero_count);
+    FAIL() << "invalid request must throw";
+  } catch (const serve::RejectedError& e) {
+    EXPECT_EQ(e.status(), serve::ServeStatus::kInvalidRequest);
+  }
+
+  const serve::MetricsSnapshot m = server.metrics();
+  EXPECT_EQ(m.admitted, 0u);
+  EXPECT_EQ(m.rejected_invalid, 6u);
+}
+
+// ---------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------
+
+TEST(ServeMetrics, NearestRankPercentiles) {
+  std::vector<double> xs(100);
+  std::iota(xs.begin(), xs.end(), 1.0);  // 1..100
+  std::shuffle(xs.begin(), xs.end(), std::mt19937_64(3));
+  const serve::LatencySummary s = serve::summarize_latencies(xs);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.min_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(s.max_seconds, 100.0);
+  EXPECT_DOUBLE_EQ(s.mean_seconds, 50.5);
+  EXPECT_DOUBLE_EQ(s.p50_seconds, 50.0);
+  EXPECT_DOUBLE_EQ(s.p95_seconds, 95.0);
+  EXPECT_DOUBLE_EQ(s.p99_seconds, 99.0);
+
+  const serve::LatencySummary empty = serve::summarize_latencies({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.p99_seconds, 0.0);
+
+  const serve::LatencySummary one = serve::summarize_latencies({2.5});
+  EXPECT_EQ(one.count, 1u);
+  EXPECT_DOUBLE_EQ(one.p50_seconds, 2.5);
+  EXPECT_DOUBLE_EQ(one.p99_seconds, 2.5);
+}
+
+TEST(ServeMetrics, CountersTrackTheRequestLifecycle) {
+  serve::ServeConfig cfg;
+  cfg.max_batch = 4;
+  serve::SamplingServer server(cfg);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    serve::GammaRequest req;
+    req.id = i + 1;
+    req.count = 32;
+    (void)server.run(req);
+  }
+  const serve::MetricsSnapshot m = server.metrics();
+  EXPECT_EQ(m.submitted, 10u);
+  EXPECT_EQ(m.admitted, 10u);
+  EXPECT_EQ(m.completed, 10u);
+  EXPECT_EQ(m.failed, 0u);
+  EXPECT_GE(m.batches, 1u);
+  EXPECT_LE(m.max_batch_occupancy, cfg.max_batch);
+  EXPECT_EQ(m.latency.count, 10u);
+  EXPECT_GE(m.latency.p99_seconds, m.latency.p50_seconds);
+}
+
+// ---------------------------------------------------------------------
+// Ring buffers under serve workload shapes
+// ---------------------------------------------------------------------
+
+/// Job-shaped payload: a closure plus shared ownership, like the
+/// scheduler's admission entries.
+struct FakeJob {
+  std::shared_ptr<int> payload;
+  std::function<void()> run;
+};
+
+TEST(ServeRingBuffer, FullQueueRejectionAndRecovery) {
+  RingBuffer<FakeJob> q(2);
+  EXPECT_TRUE(q.try_push(FakeJob{std::make_shared<int>(1), [] {}}));
+  EXPECT_TRUE(q.try_push(FakeJob{std::make_shared<int>(2), [] {}}));
+  EXPECT_TRUE(q.full());
+  EXPECT_FALSE(q.try_push(FakeJob{std::make_shared<int>(3), [] {}}));
+  EXPECT_EQ(*q.pop().payload, 1);  // FIFO preserved across rejection
+  EXPECT_TRUE(q.try_push(FakeJob{std::make_shared<int>(4), [] {}}));
+  EXPECT_EQ(*q.pop().payload, 2);
+  EXPECT_EQ(*q.pop().payload, 4);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ServeRingBuffer, WraparoundAtCapacityBoundary) {
+  // Admission-queue shape: repeated partial fill/drain marching the
+  // head and tail across the capacity boundary many times.
+  RingBuffer<FakeJob> q(3);
+  int next = 0, expect = 0;
+  for (int round = 0; round < 100; ++round) {
+    while (!q.full()) {
+      q.push(FakeJob{std::make_shared<int>(next++), [] {}});
+    }
+    const std::size_t drain = 1 + static_cast<std::size_t>(round % 3);
+    for (std::size_t d = 0; d < drain && !q.empty(); ++d) {
+      ASSERT_EQ(*q.pop().payload, expect++);
+    }
+  }
+  while (!q.empty()) ASSERT_EQ(*q.pop().payload, expect++);
+  EXPECT_EQ(next, expect);
+}
+
+TEST(ServeRingBuffer, DestructionReleasesEnqueuedItems) {
+  std::weak_ptr<int> leaked_a, leaked_b;
+  {
+    RingBuffer<FakeJob> q(4);
+    auto a = std::make_shared<int>(1);
+    auto b = std::make_shared<int>(2);
+    leaked_a = a;
+    leaked_b = b;
+    q.push(FakeJob{std::move(a), [] {}});
+    q.push(FakeJob{std::move(b), [] {}});
+    (void)q.pop();  // one consumed, one still enqueued at destruction
+  }
+  EXPECT_TRUE(leaked_a.expired());
+  EXPECT_TRUE(leaked_b.expired());
+}
+
+TEST(ServeSpscRingBuffer, FullQueueRejectionSingleThread) {
+  SpscRingBuffer<FakeJob> q(2);
+  EXPECT_TRUE(q.try_push(FakeJob{std::make_shared<int>(1), [] {}}));
+  EXPECT_TRUE(q.try_push(FakeJob{std::make_shared<int>(2), [] {}}));
+  EXPECT_FALSE(q.try_push(FakeJob{std::make_shared<int>(3), [] {}}));
+  FakeJob out;
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(*out.payload, 1);
+  EXPECT_TRUE(q.try_push(FakeJob{std::make_shared<int>(4), [] {}}));
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(*out.payload, 2);
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(*out.payload, 4);
+  EXPECT_FALSE(q.try_pop(out));
+}
+
+TEST(ServeSpscRingBuffer, WraparoundUnderProducerConsumerThreads) {
+  // Serve bridge shape: a submitting thread feeds a tiny queue, a
+  // draining thread consumes; rejections retry. Order and completeness
+  // must survive thousands of boundary crossings.
+  SpscRingBuffer<FakeJob> q(3);
+  constexpr int kItems = 20000;
+  std::atomic<std::uint64_t> rejections{0};
+
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) {
+      FakeJob job{std::make_shared<int>(i), [] {}};
+      // push a copy: try_push takes its argument by value, so a failed
+      // move would leave `job` empty for the retry
+      while (!q.try_push(job)) {
+        rejections.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::yield();
+      }
+    }
+  });
+  int expect = 0;
+  FakeJob out;
+  while (expect < kItems) {
+    if (q.try_pop(out)) {
+      ASSERT_EQ(*out.payload, expect);
+      ++expect;
+    }
+  }
+  producer.join();
+  EXPECT_FALSE(q.try_pop(out));  // drained
+  // The tiny capacity must actually have exercised the full path.
+  EXPECT_GT(rejections.load(), 0u);
+}
+
+TEST(ServeSpscRingBuffer, DestructionReleasesEnqueuedItems) {
+  std::weak_ptr<int> leaked;
+  {
+    SpscRingBuffer<FakeJob> q(4);
+    auto p = std::make_shared<int>(42);
+    leaked = p;
+    ASSERT_TRUE(q.try_push(FakeJob{std::move(p), [] {}}));
+  }
+  EXPECT_TRUE(leaked.expired());
+}
+
+}  // namespace
+}  // namespace dwi
