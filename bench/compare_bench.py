@@ -22,6 +22,11 @@ to paper over a real regression.
 Also enforces correctness flags carried by the artifact: any
 "identical_across_threads": false in the fresh run is always fatal.
 
+Every failure message names the bench and the exact field that
+breached the margin (e.g. "table3_runtime: sweep threads=1: field
+'wall_seconds' breached the 25% margin ..."), so a red CI line is
+actionable without opening the artifacts.
+
 Usage:
   bench/compare_bench.py BASELINE FRESH [--max-regression 0.25]
 """
@@ -45,17 +50,18 @@ def sweep_by_threads(doc):
     return out
 
 
-def walk_flags(node, path, failures):
+def walk_flags(node, path, failures, bench):
     """Recursively find identical_across_threads / *_identical flags."""
     if isinstance(node, dict):
         for k, v in node.items():
             if (k == "identical_across_threads" or k.endswith("_identical")) \
                     and v is False:
-                failures.append(f"{path}/{k} is false")
-            walk_flags(v, f"{path}/{k}", failures)
+                failures.append(f"{bench}: correctness flag '{path}/{k}' "
+                                f"is false in the fresh run")
+            walk_flags(v, f"{path}/{k}", failures, bench)
     elif isinstance(node, list):
         for i, v in enumerate(node):
-            walk_flags(v, f"{path}[{i}]", failures)
+            walk_flags(v, f"{path}[{i}]", failures, bench)
 
 
 def main():
@@ -72,18 +78,19 @@ def main():
     fresh = load(args.fresh)
 
     failures = []
+    bench = fresh.get("bench") or base.get("bench") or "<unnamed bench>"
     if base.get("bench") != fresh.get("bench"):
-        failures.append(f"bench name mismatch: baseline "
+        failures.append(f"{bench}: field 'bench' mismatch: baseline "
                         f"{base.get('bench')!r} vs fresh "
                         f"{fresh.get('bench')!r}")
     if base.get("schema_version") != fresh.get("schema_version"):
-        failures.append(f"schema_version mismatch: baseline "
+        failures.append(f"{bench}: field 'schema_version' mismatch: baseline "
                         f"{base.get('schema_version')!r} vs fresh "
                         f"{fresh.get('schema_version')!r}")
     if base.get("seed") != fresh.get("seed"):
-        failures.append(f"seed mismatch: baseline {base.get('seed')!r} "
-                        f"vs fresh {fresh.get('seed')!r}")
-    walk_flags(fresh, "", failures)
+        failures.append(f"{bench}: field 'seed' mismatch: baseline "
+                        f"{base.get('seed')!r} vs fresh {fresh.get('seed')!r}")
+    walk_flags(fresh, "", failures, bench)
 
     bsweep = sweep_by_threads(base)
     fsweep = sweep_by_threads(fresh)
@@ -114,14 +121,18 @@ def main():
             status = "ok"
             if regressed:
                 status = "REGRESSION"
+                direction = "above" if lower_is_better else "below"
                 failures.append(
-                    f"threads={threads}: {metric} {fs:.4g} vs baseline "
+                    f"{bench}: sweep threads={threads}: field '{metric}' "
+                    f"breached the {args.max_regression:.0%} margin "
+                    f"({direction} baseline): fresh {fs:.4g} vs baseline "
                     f"{bs:.4g} ({ratio:.2f}x, limit {limit:.2f}x)")
             print(f"threads={threads}: {metric} {fs:.4g} vs {bs:.4g} "
                   f"baseline ({ratio:.2f}x) {status}")
 
     if compared == 0:
-        failures.append("no comparable sweep entries (schema mismatch?)")
+        failures.append(f"{bench}: no comparable sweep entries "
+                        f"(schema mismatch?)")
 
     if failures:
         print("\nFAIL:", file=sys.stderr)

@@ -34,6 +34,7 @@ int main() {
     (void)simt::run_gamma_partition(
         pm, rng::config(rng::ConfigId::kConfig2),
         rng::NormalTransform::kMarsagliaBray, 1.39f, 4, 21,
+        rng::StreamStrategy::kDistinctSeeds,
         [&](simt::Mask mask, simt::Mask parent, const simt::OpBundle&) {
           if (regions.size() < 28) regions.emplace_back(mask, parent);
         });

@@ -2,8 +2,22 @@
 // twisters, normal transforms, the gamma sampler and the Listing 2
 // work-item. These are host-CPU throughput numbers for the library
 // itself, not simulated-platform numbers.
+//
+// With --json=PATH the binary additionally hand-times the Philox
+// generation tiers — scalar next(), the dispatched generate_block()
+// bulk path, and the scalar/AVX2 block kernels head-to-head — and
+// writes the rows to BENCH_micro_rng.json, so the vectorization payoff
+// is tracked as a machine-readable artifact like the figure benches.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_json.h"
 #include "common/bits.h"
 #include "core/gamma_work_item.h"
 #include "rng/erfinv.h"
@@ -12,6 +26,7 @@
 #include "rng/mersenne_twister.h"
 #include "rng/normal.h"
 #include "rng/philox.h"
+#include "rng/simd_kernels.h"
 #include "rng/ziggurat.h"
 
 namespace {
@@ -111,6 +126,64 @@ void BM_Philox(benchmark::State& state) {
 }
 BENCHMARK(BM_Philox);
 
+void BM_PhiloxBlock(benchmark::State& state) {
+  // The bulk path: counters encrypted straight into the buffer through
+  // the dispatched kernel (8 abreast under AVX2).
+  rng::Philox p(1u, 0);
+  std::vector<std::uint32_t> buf(4096);
+  for (auto _ : state) {
+    p.generate_block(buf.data(), buf.size());
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_PhiloxBlock);
+
+void BM_PhiloxBlockKernelScalar(benchmark::State& state) {
+  const std::uint32_t counter[4] = {0, 0, 0, 0};
+  const std::uint32_t key[2] = {1u, 0u};
+  std::vector<std::uint32_t> buf(4096);
+  for (auto _ : state) {
+    rng::simd::philox_block_scalar(counter, key, buf.size() / 4, buf.data());
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_PhiloxBlockKernelScalar);
+
+#if defined(DWI_SIMD_AVX2)
+void BM_PhiloxBlockKernelAvx2(benchmark::State& state) {
+  if (rng::simd::active_level() != rng::simd::Level::kAvx2) {
+    state.SkipWithError("AVX2 not active on this host");
+    return;
+  }
+  const std::uint32_t counter[4] = {0, 0, 0, 0};
+  const std::uint32_t key[2] = {1u, 0u};
+  std::vector<std::uint32_t> buf(4096);
+  for (auto _ : state) {
+    rng::simd::philox_block_avx2(counter, key, buf.size() / 4, buf.data());
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_PhiloxBlockKernelAvx2);
+#endif
+
+void BM_Mt19937Block(benchmark::State& state) {
+  rng::MersenneTwister mt(rng::mt19937_params(), 1);
+  std::vector<std::uint32_t> buf(4096);
+  for (auto _ : state) {
+    mt.generate_block(buf.data(), buf.size());
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_Mt19937Block);
+
 void BM_GammaWorkItemStep(benchmark::State& state) {
   core::GammaWorkItemConfig cfg;
   cfg.app = rng::config(rng::ConfigId::kConfig1);
@@ -121,6 +194,118 @@ void BM_GammaWorkItemStep(benchmark::State& state) {
 }
 BENCHMARK(BM_GammaWorkItemStep);
 
+// --- BENCH_micro_rng.json: Philox generation-tier rows -----------------
+
+/// Best-of-N wall-clock throughput of `run` (which produces `outputs`
+/// uniforms per call), in outputs per second.
+template <typename Fn>
+double best_outputs_per_second(Fn&& run, std::size_t outputs) {
+  double best = 0.0;
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    run();
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (s > 0.0) best = std::max(best, static_cast<double>(outputs) / s);
+  }
+  return best;
+}
+
+void write_micro_rng_json(const std::string& path) {
+  constexpr std::size_t kOutputs = std::size_t{1} << 22;  // 4M per rep
+  std::vector<std::uint32_t> buf(kOutputs);
+
+  // Row 1: scalar next() — one output per call, block buffered.
+  const double scalar_next = best_outputs_per_second(
+      [&] {
+        rng::Philox p(1u, 0);
+        std::uint32_t acc = 0;
+        for (std::size_t i = 0; i < kOutputs; ++i) acc ^= p.next();
+        benchmark::DoNotOptimize(acc);
+      },
+      kOutputs);
+
+  // Row 2: generate_block() through the runtime-dispatched kernel.
+  const double block_dispatched = best_outputs_per_second(
+      [&] {
+        rng::Philox p(1u, 0);
+        p.generate_block(buf.data(), buf.size());
+        benchmark::DoNotOptimize(buf.data());
+      },
+      kOutputs);
+
+  // Rows 3/4: the block kernels head-to-head, bypassing dispatch.
+  const std::uint32_t counter[4] = {0, 0, 0, 0};
+  const std::uint32_t key[2] = {1u, 0u};
+  const double kernel_scalar = best_outputs_per_second(
+      [&] {
+        rng::simd::philox_block_scalar(counter, key, kOutputs / 4, buf.data());
+        benchmark::DoNotOptimize(buf.data());
+      },
+      kOutputs);
+  double kernel_avx2 = 0.0;
+#if defined(DWI_SIMD_AVX2)
+  if (rng::simd::active_level() == rng::simd::Level::kAvx2) {
+    kernel_avx2 = best_outputs_per_second(
+        [&] {
+          rng::simd::philox_block_avx2(counter, key, kOutputs / 4, buf.data());
+          benchmark::DoNotOptimize(buf.data());
+        },
+        kOutputs);
+  }
+#endif
+
+  auto f = bench::open_bench_json(path);
+  if (!f) return;
+  bench::JsonWriter j(f);
+  j.begin_object();
+  bench::write_bench_header(j, "micro_rng", 1);
+  j.kv("simd_level", rng::simd::to_string(rng::simd::active_level()));
+  j.key("rows");
+  j.begin_array();
+  const struct {
+    const char* name;
+    double ops;
+  } rows[] = {
+      {"philox_next_scalar", scalar_next},
+      {"philox_generate_block", block_dispatched},
+      {"philox_block_kernel_scalar", kernel_scalar},
+      {"philox_block_kernel_avx2", kernel_avx2},
+  };
+  for (const auto& r : rows) {
+    if (r.ops <= 0.0) continue;  // avx2 row absent on non-AVX2 hosts
+    j.begin_object();
+    j.kv("name", r.name);
+    j.kv("outputs_per_second", r.ops);
+    j.kv("ns_per_output", 1e9 / r.ops);
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  f << "\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off --json=PATH (ours), hand the rest to google-benchmark.
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view a(argv[i]);
+    if (a.rfind("--json=", 0) == 0) {
+      json_path = std::string(a.substr(7));
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  if (!json_path.empty()) write_micro_rng_json(json_path);
+  return 0;
+}

@@ -280,6 +280,111 @@ int main(int argc, char** argv) {
     t.render(std::cout);
   }
 
+  // ==== Phase 2b: substream-strategy sweep ============================
+  // kJumpAhead vs kCounterBased head-to-head: closed-loop throughput,
+  // determinism across submission orders, and the per-request substream
+  // derivation cost (the popcount(index) GF(2) matrix applies the
+  // splitter pays vs the counter write Philox pays).
+  struct StrategyPoint {
+    const char* name = "";
+    double wall_seconds = 0.0;
+    double throughput_rps = 0.0;
+    double derivation_ns = 0.0;
+    bool identical = true;
+  };
+  std::vector<StrategyPoint> strategies;
+  for (const auto strategy : {rng::StreamStrategy::kJumpAhead,
+                              rng::StreamStrategy::kCounterBased}) {
+    const bool counter = strategy == rng::StreamStrategy::kCounterBased;
+    StrategyPoint sp;
+    sp.name = counter ? "counter_based" : "jump_ahead";
+
+    // Derivation microcost: serve-realistic spread of request ids.
+    {
+      serve::ServeConfig cfg = server_config(spec, true);
+      cfg.stream_strategy = strategy;
+      serve::SamplingServer server(cfg);
+      constexpr std::size_t kDerivations = 20'000;
+      double best = 1e300;
+      for (int rep = 0; rep < 3; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        std::uint32_t sink = 0;
+        for (std::size_t i = 0; i < kDerivations; ++i) {
+          const serve::RequestId id = (i * 2654435761u) % 1'000'000u;
+          if (counter) {
+            rng::Philox px = server.gamma_counter_stream(id);
+            sink ^= px.next();
+          } else {
+            rng::MersenneTwister mt = server.gamma_stream(id);
+            sink ^= mt.next();
+          }
+        }
+        const double s = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+        best = std::min(best, s / kDerivations * 1e9);
+        if (sink == 0xdeadbeefu) std::cout << "";  // defeat DCE
+      }
+      sp.derivation_ns = best;
+    }
+
+    // Closed loop at the widest thread count, plus an order-shuffled
+    // fingerprint pass pinning determinism under this strategy.
+    {
+      exec::set_thread_count(max_threads);
+      serve::ServeConfig cfg = server_config(spec, true);
+      cfg.stream_strategy = strategy;
+      std::uint64_t fp_natural = 0, fp_shuffled = 0;
+      {
+        serve::SamplingServer server(cfg);
+        fp_natural = run_set_fingerprint(server, items, natural);
+      }
+      {
+        serve::SamplingServer server(cfg);
+        fp_shuffled = run_set_fingerprint(server, items, shuffled);
+      }
+      sp.identical = fp_natural == fp_shuffled;
+      identical &= sp.identical;
+
+      serve::SamplingServer server(cfg);
+      const auto t0 = std::chrono::steady_clock::now();
+      std::vector<std::thread> workers;
+      workers.reserve(spec.clients);
+      for (unsigned c = 0; c < spec.clients; ++c) {
+        workers.emplace_back([&, c] {
+          for (std::size_t i = c; i < items.size(); i += spec.clients) {
+            if (items[i].is_gamma) {
+              (void)server.run(items[i].gamma);
+            } else {
+              (void)server.run(items[i].credit);
+            }
+          }
+        });
+      }
+      for (auto& w : workers) w.join();
+      sp.wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      sp.throughput_rps = static_cast<double>(items.size()) / sp.wall_seconds;
+    }
+    strategies.push_back(sp);
+  }
+
+  std::cout << "\n=== Substream strategy sweep (" << max_threads
+            << " threads) ===\n";
+  {
+    TextTable t;
+    t.set_header({"Strategy", "Wall [s]", "Req/s", "Derivation [ns]",
+                  "Deterministic"});
+    for (const auto& sp : strategies) {
+      t.add_row({sp.name, TextTable::num(sp.wall_seconds, 3),
+                 TextTable::num(sp.throughput_rps, 0),
+                 TextTable::num(sp.derivation_ns, 0),
+                 sp.identical ? "yes" : "NO"});
+    }
+    t.render(std::cout);
+  }
+
   // ==== Phase 3: open loop at a fixed offered rate ====================
   exec::set_thread_count(max_threads);
   serve::MetricsSnapshot open_metrics;
@@ -360,6 +465,17 @@ int main(int argc, char** argv) {
       j.kv("mean_batch_occupancy", p.metrics.mean_batch_occupancy);
       j.kv("queue_high_water",
            static_cast<std::uint64_t>(p.metrics.queue_high_water));
+      j.end_object();
+    }
+    j.end_array();
+    j.key("strategy_sweep").begin_array();
+    for (const auto& sp : strategies) {
+      j.begin_object();
+      j.kv("strategy", sp.name);
+      j.kv("wall_seconds", sp.wall_seconds);
+      j.kv("throughput_rps", sp.throughput_rps);
+      j.kv("derivation_ns_per_request", sp.derivation_ns);
+      j.kv("order_identical", sp.identical);
       j.end_object();
     }
     j.end_array();

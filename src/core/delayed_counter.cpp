@@ -9,25 +9,6 @@ DelayedCounter::DelayedCounter(unsigned break_id)
   DWI_REQUIRE(break_id < 16, "break id unreasonably large");
 }
 
-void DelayedCounter::update_registers() {
-  // Shift register: prev_[j] <- prev_[j-1], prev_[0] <- counter. In
-  // hardware all elements move in the same cycle (the array is
-  // completely partitioned); here we shift from the tail.
-  for (std::size_t j = prev_.size(); j-- > 1;) prev_[j] = prev_[j - 1];
-  prev_[0] = counter_;
-}
-
-void DelayedCounter::increment() { ++counter_; }
-
-std::uint32_t DelayedCounter::delayed_value() const {
-  return prev_[break_id_];
-}
-
-void DelayedCounter::reset() {
-  counter_ = 0;
-  for (auto& p : prev_) p = 0;
-}
-
 unsigned achieved_initiation_interval(unsigned counter_chain_latency,
                                       unsigned delay_iterations) {
   DWI_REQUIRE(counter_chain_latency >= 1, "chain latency must be >= 1");

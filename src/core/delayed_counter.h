@@ -32,21 +32,47 @@ class DelayedCounter {
 
   /// Listing 2's `UpdateRegUI`: shift the current counter into the
   /// delay registers. Call exactly once at the top of every iteration.
-  void update_registers();
+  /// Inline: this runs once per MAINLOOP iteration in the host
+  /// simulation's hottest loop, and the common break_id = 0 case is a
+  /// single store.
+  void update_registers() {
+    for (std::size_t j = prev_.size(); j-- > 1;) prev_[j] = prev_[j - 1];
+    prev_[0] = counter_;
+  }
 
   /// Increment the live counter (inside the validated-output branch).
-  void increment();
+  void increment() { ++counter_; }
 
   /// The delayed value `prevCounter[breakId]` used in the loop exit
   /// comparison.
-  std::uint32_t delayed_value() const;
+  std::uint32_t delayed_value() const { return prev_[break_id_]; }
 
   /// The live counter (used in the guarded write condition).
   std::uint32_t value() const { return counter_; }
 
   unsigned break_id() const { return break_id_; }
 
-  void reset();
+  /// Closed-form replay of `chunk` iterations of the Listing 2 loop
+  /// when every increment's guard is known to pass: iteration i ran
+  /// update_registers() and then incremented iff ok[i]. Requires
+  /// chunk > break_id so every delay register is overwritten; the
+  /// resulting state is bit-identical to the explicit loop. The batch
+  /// tape fill uses this to skip the per-iteration shift dance.
+  void advance_bulk(const std::uint8_t* ok, std::size_t chunk,
+                    std::uint32_t total_incremented) {
+    DWI_ASSERT(chunk > break_id_);
+    counter_ += total_incremented;
+    std::uint32_t enter = counter_;
+    for (std::size_t j = 0; j <= break_id_; ++j) {
+      enter -= ok[chunk - 1 - j];
+      prev_[j] = enter;
+    }
+  }
+
+  void reset() {
+    counter_ = 0;
+    for (auto& p : prev_) p = 0;
+  }
 
  private:
   unsigned break_id_;

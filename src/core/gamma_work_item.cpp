@@ -10,6 +10,7 @@
 #include "rng/icdf_bitwise.h"
 #include "rng/jump.h"
 #include "rng/normal.h"
+#include "rng/simd_kernels.h"
 
 namespace dwi::core {
 
@@ -37,24 +38,30 @@ GammaWorkItem::GammaWorkItem(const GammaWorkItemConfig& cfg)
       counter_(cfg.break_id) {
   DWI_REQUIRE(!cfg.sector_variances.empty(), "need at least one sector");
   DWI_REQUIRE(cfg.outputs_per_sector > 0, "empty sector quota");
+  // Every stream advances at most once per MAINLOOP iteration and
+  // limit_max bounds the iterations per sector, so limit_max x
+  // sectors outputs per substream can never overlap the next one.
+  const std::uint64_t per_sector_bound =
+      cfg.limit_max != 0 ? cfg.limit_max
+                         : cfg.outputs_per_sector * 4u + 1024u;
+  const std::uint64_t stride =
+      cfg.substream_stride != 0
+          ? cfg.substream_stride
+          : per_sector_bound * cfg.sector_variances.size();
+  const std::uint64_t base =
+      static_cast<std::uint64_t>(cfg.work_item_id) * 4u;
   if (cfg.stream_strategy == StreamStrategy::kJumpAhead) {
-    // Every twister advances at most once per MAINLOOP iteration and
-    // limit_max bounds the iterations per sector, so limit_max x
-    // sectors outputs per substream can never overlap the next one.
-    const std::uint64_t per_sector_bound =
-        cfg.limit_max != 0 ? cfg.limit_max
-                           : cfg.outputs_per_sector * 4u + 1024u;
-    const std::uint64_t stride =
-        cfg.substream_stride != 0
-            ? cfg.substream_stride
-            : per_sector_bound * cfg.sector_variances.size();
     const rng::SubstreamSplitter splitter(cfg.app.mt, cfg.seed, stride);
-    const std::uint64_t base =
-        static_cast<std::uint64_t>(cfg.work_item_id) * 4u;
     mt0a_ = rng::AdaptedMersenneTwister(splitter.stream(base + 0));
     mt0b_ = rng::AdaptedMersenneTwister(splitter.stream(base + 1));
     mt1_ = rng::AdaptedMersenneTwister(splitter.stream(base + 2));
     mt2_ = rng::AdaptedMersenneTwister(splitter.stream(base + 3));
+  } else if (cfg.stream_strategy == StreamStrategy::kCounterBased) {
+    const rng::CounterSubstreams substreams(cfg.seed, stride);
+    px_.reserve(4);
+    for (unsigned t = 0; t < 4; ++t) {
+      px_.emplace_back(rng::AdaptedPhilox(substreams.stream(base + t)));
+    }
   }
   enter_sector(0);
 }
@@ -72,6 +79,27 @@ void GammaWorkItem::enter_sector(std::size_t sector) {
   limit_max_ = cfg_.limit_max != 0
                    ? cfg_.limit_max
                    : cfg_.outputs_per_sector * 4u + 1024u;
+}
+
+std::uint32_t GammaWorkItem::draw(unsigned s, bool enable) {
+  if (!px_.empty()) return px_[s].next(enable);
+  switch (s) {
+    case 0: return mt0a_.next(enable);
+    case 1: return mt0b_.next(enable);
+    case 2: return mt1_.next(enable);
+    default: return mt2_.next(enable);
+  }
+}
+
+void GammaWorkItem::draw_block(unsigned s, std::uint32_t* out,
+                               std::size_t count) {
+  if (!px_.empty()) return px_[s].generate_block(out, count);
+  switch (s) {
+    case 0: return mt0a_.generate_block(out, count);
+    case 1: return mt0b_.generate_block(out, count);
+    case 2: return mt1_.generate_block(out, count);
+    default: return mt2_.generate_block(out, count);
+  }
 }
 
 bool GammaWorkItem::produce(float* value) {
@@ -128,25 +156,25 @@ void GammaWorkItem::fill_tape_scalar() {
     case rng::NormalTransform::kMarsagliaBray: {
       // Both input twisters advance every iteration (enable = true):
       // the polar method consumes a fresh pair per attempt.
-      const auto a = rng::marsaglia_bray_attempt(mt0a_.next(true),
-                                                 mt0b_.next(true));
+      const auto a = rng::marsaglia_bray_attempt(draw(0, true),
+                                                 draw(1, true));
       n0 = a.value;
       n0_valid = a.valid;
       break;
     }
     case rng::NormalTransform::kIcdfBitwise: {
-      const auto r = rng::normal_icdf_bitwise(mt0a_.next(true));
+      const auto r = rng::normal_icdf_bitwise(draw(0, true));
       n0 = r.value;
       n0_valid = r.valid;
       break;
     }
     case rng::NormalTransform::kIcdfCuda: {
-      n0 = rng::normal_icdf_cuda(mt0a_.next(true));
+      n0 = rng::normal_icdf_cuda(draw(0, true));
       n0_valid = true;
       break;
     }
     case rng::NormalTransform::kBoxMuller: {
-      n0 = rng::box_muller(mt0a_.next(true), mt0b_.next(true));
+      n0 = rng::box_muller(draw(0, true), draw(1, true));
       n0_valid = true;
       break;
     }
@@ -154,14 +182,14 @@ void GammaWorkItem::fill_tape_scalar() {
 
   // ---- Uniform RN (for rejection): MT1 advances only when the normal
   // stage produced a value (Listing 2: MT1(n0_valid, ...)). -------------
-  const float u1 = uint2float_open0(mt1_.next(n0_valid));
+  const float u1 = uint2float_open0(draw(2, n0_valid));
 
   // ---- Rejection method ------------------------------------------------
   const rng::GammaAttempt g = rng::gamma_attempt(n0, u1, gamma_k_);
   const bool g_rn_ok = n0_valid && g.valid;
 
   // ---- Uniform RN for correction: MT2 advances only on acceptance. ----
-  const float u2 = uint2float_open0(mt2_.next(g_rn_ok));
+  const float u2 = uint2float_open0(draw(3, g_rn_ok));
   const float g_corrected = rng::gamma_correct(g.value, u2, gamma_k_);
 
   // ---- Output selection + guarded write --------------------------------
@@ -210,62 +238,83 @@ void GammaWorkItem::fill_tape_batched() {
   // ---- Normal RNs, one block ------------------------------------------
   std::uint32_t* ua = arena.u32(0, chunk);
   std::uint32_t* ub = two_uniforms ? arena.u32(1, chunk) : nullptr;
-  mt0a_.generate_block(ua, chunk);
-  if (two_uniforms) mt0b_.generate_block(ub, chunk);
+  draw_block(0, ua, chunk);
+  if (two_uniforms) draw_block(1, ub, chunk);
 
   float* n0 = arena.f32(0, chunk);
   std::uint8_t* n0_valid = arena.u8(0, chunk);
   rng::normal_attempt_block(transform, ua, ub, chunk, n0, n0_valid);
 
-  // ---- Rejection stage: MT1 commits once per valid normal -------------
+  // ---- Rejection stage: MT1 commits once per valid normal. The
+  // valid normals are compacted so the vectorized Marsaglia-Tsang
+  // predicate (rng/simd_kernels.h) runs over a dense block, then the
+  // accept flags are scattered back to iteration order. ----------------
+  float* n0c = arena.f32(1, chunk);
   std::size_t n_valid = 0;
-  for (std::size_t i = 0; i < chunk; ++i) n_valid += n0_valid[i];
-  std::uint32_t* u1 = arena.u32(2, chunk);
-  mt1_.generate_block(u1, n_valid);
-
-  float* g_value = arena.f32(1, chunk);
-  std::uint8_t* g_ok = arena.u8(1, chunk);
-  std::size_t vi = 0;
-  std::size_t n_accepted = 0;
   for (std::size_t i = 0; i < chunk; ++i) {
-    if (n0_valid[i] == 0) {
-      g_ok[i] = 0;
-      g_value[i] = 0.0f;
-      continue;
-    }
-    const float u = uint2float_open0(u1[vi++]);
-    const rng::GammaAttempt g = rng::gamma_attempt(n0[i], u, gamma_k_);
-    g_ok[i] = g.valid ? 1 : 0;
-    g_value[i] = g.value;
-    n_accepted += g.valid ? 1u : 0u;
+    n0c[n_valid] = n0[i];
+    n_valid += n0_valid[i];
+  }
+  std::uint32_t* u1 = arena.u32(2, chunk);
+  draw_block(2, u1, n_valid);
+  float* g_value = arena.f32(2, chunk);   // compacted: one per valid normal
+  std::uint8_t* g_ok = arena.u8(1, chunk);  // compacted accept flags
+  rng::simd::gamma_attempt_block(n0c, u1, n_valid, gamma_k_, g_value, g_ok);
+
+  // Compact the accepted candidates in place; count acceptances.
+  std::size_t n_accepted = 0;
+  for (std::size_t i = 0; i < n_valid; ++i) {
+    g_value[n_accepted] = g_value[i];
+    n_accepted += g_ok[i];
   }
 
   // ---- Correction stage: MT2 commits once per accepted candidate. The
   // correction is only *selected* when alphaFlag is set (Listing 2
   // computes both sides and muxes), so the pow runs only on the
-  // accepted+selected lane — everything else is dead datapath. --------
+  // accepted+selected lanes — everything else is dead datapath. --------
   std::uint32_t* u2 = arena.u32(3, chunk);
-  mt2_.generate_block(u2, n_accepted);
+  draw_block(3, u2, n_accepted);
   if (alpha_flag_) {
-    std::size_t ci = 0;
-    for (std::size_t i = 0; i < chunk; ++i) {
-      if (g_ok[i] != 0) {
-        g_value[i] =
-            rng::gamma_correct(g_value[i], uint2float_open0(u2[ci++]), gamma_k_);
-      }
-    }
+    rng::simd::gamma_correct_block(g_value, u2, n_accepted, gamma_k_);
   }
 
-  // ---- DelayedCounter bookkeeping + guarded write, integer-only -------
-  for (std::size_t i = 0; i < chunk; ++i) {
-    counter_.update_registers();
-    if (g_ok[i] != 0 && counter_.value() < quota) {
-      counter_.increment();
-      tape_flags_.push_back(1);
-      tape_values_.push_back(g_value[i]);
-    } else {
-      tape_flags_.push_back(0);
+  // ---- DelayedCounter bookkeeping + guarded write, integer-only.
+  // Scatter the accept decisions back to iteration order first; the
+  // guarded-write loop then only consults one flag per iteration. ------
+  tape_flags_.resize(chunk);
+  {
+    std::size_t vi = 0;
+    for (std::size_t i = 0; i < chunk; ++i) {
+      tape_flags_[i] = n0_valid[i] != 0 ? g_ok[vi] : std::uint8_t{0};
+      vi += n0_valid[i];
     }
+  }
+  if (static_cast<std::uint64_t>(counter_.value()) + n_accepted <= quota &&
+      chunk > counter_.break_id()) {
+    // Every guard passes (the counter cannot reach quota mid-chunk), so
+    // the loop collapses: flags are the accepts as-is, the values are
+    // the compacted block unchanged, and the counter state is replayed
+    // in closed form. Bit-identical to the explicit loop below.
+    tape_values_.assign(g_value, g_value + n_accepted);
+    counter_.advance_bulk(tape_flags_.data(), chunk,
+                          static_cast<std::uint32_t>(n_accepted));
+  } else {
+    tape_values_.resize(n_accepted);
+    std::size_t ai = 0;
+    std::size_t emitted = 0;
+    for (std::size_t i = 0; i < chunk; ++i) {
+      counter_.update_registers();
+      if (tape_flags_[i] != 0) {
+        if (counter_.value() < quota) {
+          counter_.increment();
+          tape_values_[emitted++] = g_value[ai];
+        } else {
+          tape_flags_[i] = 0;
+        }
+        ++ai;
+      }
+    }
+    tape_values_.resize(emitted);
   }
   k_ += static_cast<std::uint32_t>(chunk);
 }

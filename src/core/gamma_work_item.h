@@ -27,21 +27,25 @@
 #include "rng/configs.h"
 #include "rng/gamma.h"
 #include "rng/mersenne_twister.h"
+#include "rng/philox.h"
+#include "rng/stream_strategy.h"
 
 namespace dwi::core {
 
-/// How a work-item's four twisters obtain independent streams.
-enum class StreamStrategy {
-  /// The paper's choice: distinct SplitMix-derived seeds per
-  /// (work-item, twister). Overlap is improbable, not impossible.
-  kDistinctSeeds,
-  /// Production-grade: all twisters of all work-items are fixed-stride
-  /// substreams of ONE master sequence via GF(2) jump-ahead
-  /// (rng/jump.h) — overlap is impossible by construction and the
-  /// streams are independent of which host thread simulates the
-  /// work-item. Requires a small DCMT geometry (MT(521) configs).
-  kJumpAhead,
-};
+/// How a work-item's four uniform streams obtain independence — the
+/// shared vocabulary lives in rng/stream_strategy.h so the SIMT engine
+/// and the serving layer speak the same one:
+///   kDistinctSeeds — the paper's choice: distinct SplitMix-derived
+///     seeds per (work-item, stream); overlap improbable.
+///   kJumpAhead — fixed-stride substreams of ONE master MT sequence
+///     via GF(2) jump-ahead (rng/jump.h); overlap impossible. Requires
+///     a small DCMT geometry (MT(521) configs).
+///   kCounterBased — fixed-stride windows of ONE master Philox counter
+///     sequence (rng/philox.h); overlap impossible, derivation O(1),
+///     any position seekable. Works with every config (no geometry
+///     constraint) but replaces the paper's twisters with Philox, so
+///     it samples a different (equally valid) stream family.
+using StreamStrategy = rng::StreamStrategy;
 
 struct GammaWorkItemConfig {
   rng::AppConfig app = rng::config(rng::ConfigId::kConfig1);
@@ -57,9 +61,9 @@ struct GammaWorkItemConfig {
   unsigned work_item_id = 0;
   std::uint32_t seed = 1;
   StreamStrategy stream_strategy = StreamStrategy::kDistinctSeeds;
-  /// kJumpAhead substream stride in outputs (0 = derive a safe bound
-  /// from limit_max x sectors). Work-item w's twister t is substream
-  /// index w*4 + t of the master sequence seeded with `seed`.
+  /// kJumpAhead/kCounterBased substream stride in outputs (0 = derive
+  /// a safe bound from limit_max x sectors). Work-item w's stream t is
+  /// substream index w*4 + t of the master sequence seeded with `seed`.
   std::uint64_t substream_stride = 0;
   /// Host-side batching width: produce() serves from an internal tape
   /// of up to this many precomputed MAINLOOP iterations, generated via
@@ -113,6 +117,16 @@ class GammaWorkItem final : public fpga::ProducerModel {
   rng::AdaptedMersenneTwister mt0b_;
   rng::AdaptedMersenneTwister mt1_;
   rng::AdaptedMersenneTwister mt2_;
+
+  // kCounterBased replaces the four twisters with enable-gated Philox
+  // substreams (same Listing 3 contract); the mt*_ members above are
+  // left at their cheap defaults and never consumed.
+  std::vector<rng::AdaptedPhilox> px_;  ///< 4 entries when counter-based
+
+  // Stream selection helpers: stage s ∈ {0:normal-a, 1:normal-b,
+  // 2:rejection, 3:correction}.
+  std::uint32_t draw(unsigned s, bool enable);
+  void draw_block(unsigned s, std::uint32_t* out, std::size_t count);
 
   DelayedCounter counter_;
   std::size_t sector_ = 0;

@@ -110,8 +110,15 @@ KernelSimResult run_schedule(const KernelSimConfig& cfg,
   for (unsigned c = 0; c < cfg.memory_channels; ++c) {
     channels.emplace_back(cfg.channel);
   }
+  // Work-item → channel is a fixed round-robin assignment; resolve it
+  // once instead of dividing inside the cycle loop (twice per
+  // work-item per simulated cycle).
+  std::vector<unsigned> channel_index(wis.size());
+  for (std::size_t wid = 0; wid < wis.size(); ++wid) {
+    channel_index[wid] = static_cast<unsigned>(wid % cfg.memory_channels);
+  }
   auto channel_of = [&](std::size_t wid) -> MemoryChannel& {
-    return channels[wid % cfg.memory_channels];
+    return channels[channel_index[wid]];
   };
 
   KernelSimResult result;

@@ -44,8 +44,40 @@ class MemoryChannel {
   /// Returns false when the request queue is full (caller retries).
   bool request_burst(unsigned requester, unsigned beats);
 
-  /// Advance one clock cycle.
-  void tick();
+  /// Advance one clock cycle. Inline: the kernel cycle loop calls this
+  /// (and the queries below) once per simulated cycle per channel.
+  void tick() {
+    ++cycle_;
+    // DRAM refresh: the channel is dead for refresh_cycles at every
+    // interval boundary; an in-flight burst is stretched by pushing
+    // its finish time out.
+    if (cfg_.refresh_interval_cycles != 0 &&
+        cycle_ % cfg_.refresh_interval_cycles == 0) {
+      refresh_until_ = cycle_ + cfg_.refresh_cycles;
+      if (in_flight_) finish_cycle_ += cfg_.refresh_cycles;
+    }
+    if (cycle_ < refresh_until_) {
+      if (in_flight_) ++busy_cycles_;
+      return;
+    }
+    if (!in_flight_ && !queue_.empty()) {
+      current_ = queue_.pop();
+      in_flight_ = true;
+      // The dequeuing tick is the first busy cycle, so the burst
+      // completes after turnaround + beats ticks in total.
+      finish_cycle_ = cycle_ + cfg_.turnaround_cycles + current_.beats - 1;
+    }
+    if (in_flight_) {
+      ++busy_cycles_;
+      if (cycle_ >= finish_cycle_) {
+        beats_transferred_ += current_.beats;
+        data_cycles_ += current_.beats;
+        ++bursts_served_;
+        done_mask_ |= std::uint64_t{1} << current_.requester;
+        in_flight_ = false;
+      }
+    }
+  }
 
   /// Cycle-skipping support: how many consecutive tick()s from the
   /// current state are pure countdowns — no dequeue, no burst
@@ -54,11 +86,40 @@ class MemoryChannel {
   /// bit-identical to k tick() calls. Returns kInfiniteTicks when the
   /// channel is fully idle (nothing ever happens without a new
   /// request).
-  std::uint64_t skippable_ticks() const;
+  std::uint64_t skippable_ticks() const {
+    // A completion flag someone has not consumed yet makes the very
+    // next cycle an event (the owning transfer unit will clear it).
+    if (done_mask_ != 0) return 0;
+    std::uint64_t safe = kInfiniteTicks;
+    if (in_flight_) {
+      // The tick where cycle_ reaches finish_cycle_ completes the
+      // burst (and during a refresh window the finish has already been
+      // pushed past the window), so everything before it is countdown.
+      safe = finish_cycle_ - cycle_ - 1;
+    } else if (!queue_.empty()) {
+      // Next non-refresh tick dequeues; refresh ticks are pure waits.
+      safe = cycle_ < refresh_until_ ? refresh_until_ - cycle_ - 1 : 0;
+    }
+    if (cfg_.refresh_interval_cycles != 0) {
+      // The tick landing on an interval boundary mutates refresh state.
+      const std::uint64_t to_boundary =
+          cfg_.refresh_interval_cycles -
+          (cycle_ % cfg_.refresh_interval_cycles);
+      safe = safe < to_boundary - 1 ? safe : to_boundary - 1;
+    }
+    return safe;
+  }
 
   /// Fast-forward `ticks` cycles at once; caller must ensure
   /// ticks <= skippable_ticks() (checked in debug builds).
-  void advance(std::uint64_t ticks);
+  void advance(std::uint64_t ticks) {
+    DWI_ASSERT(ticks <= skippable_ticks());
+    // Replays exactly what `ticks` tick() calls would do on a
+    // countdown stretch: the clock moves, an in-flight burst accrues
+    // busy time, nothing else changes.
+    cycle_ += ticks;
+    if (in_flight_) busy_cycles_ += ticks;
+  }
 
   /// True when request_burst would currently be accepted (queue not
   /// full) — a const query for the cycle-skip event scan.
@@ -68,10 +129,17 @@ class MemoryChannel {
 
   /// True when `requester`'s burst finished this or an earlier cycle
   /// and has not been consumed yet.
-  bool burst_done(unsigned requester);
+  bool burst_done(unsigned requester) {
+    const std::uint64_t bit = std::uint64_t{1} << requester;
+    if (done_mask_ & bit) {
+      done_mask_ &= ~bit;
+      return true;
+    }
+    return false;
+  }
 
   /// True when no burst is in flight or queued.
-  bool idle() const;
+  bool idle() const { return !in_flight_ && queue_.empty(); }
 
   /// Requester id of the burst currently occupying the channel, or -1
   /// when idle — the Fig 3 schedule-visualization hook.

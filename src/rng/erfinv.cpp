@@ -3,13 +3,14 @@
 #include <cmath>
 
 #include "common/bits.h"
+#include "rng/fastmath.h"
 
 namespace dwi::rng {
 
 float erfinv_giles(float x) {
   // Giles' single-precision approximation: w = -log(1 - x^2); a degree-8
   // polynomial in w (central, w < 5) or in sqrt(w) - 3 (tail), times x.
-  float w = -std::log((1.0f - x) * (1.0f + x));
+  float w = -fast_logf((1.0f - x) * (1.0f + x));
   float p;
   if (w < 5.0f) {
     w = w - 2.5f;

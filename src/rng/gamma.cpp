@@ -1,11 +1,15 @@
 #include "rng/gamma.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <random>
 
 #include "common/bits.h"
 #include "common/error.h"
+#include "rng/fastmath.h"
+#include "rng/simd_kernels.h"
 
 namespace dwi::rng {
 
@@ -37,13 +41,13 @@ GammaAttempt gamma_attempt(float n0, float u1, const GammaConstants& k) {
   const bool squeeze = u1 < 1.0f - 0.0331f * x2 * x2;
   const bool exact =
       squeeze ||
-      std::log(u1) < 0.5f * x2 + k.d * (1.0f - v + std::log(v));
+      fast_logf(u1) < 0.5f * x2 + k.d * (1.0f - v + fast_logf(v));
   if (!exact) return GammaAttempt{0.0f, false};
   return GammaAttempt{k.d * v * k.scale, true};
 }
 
 float gamma_correct(float g, float u2, const GammaConstants& k) {
-  return g * std::pow(u2, k.inv_alpha);
+  return g * fast_powf(u2, k.inv_alpha);
 }
 
 GammaSampler::GammaSampler(GammaConstants constants, NormalTransform transform)
@@ -113,6 +117,69 @@ void GammaSampler::sample_block(MersenneTwister& mt, float* out,
         out[i] = gamma_correct(g.value, uint2float_open0(next()), k_);
       }
       break;
+    }
+  }
+}
+
+void GammaSampler::sample_block(Philox& px, float* out, std::size_t count) {
+  // Batched rejection sampling over fixed rounds of kAttemptRound
+  // attempts (the deterministic-order contract is documented on the
+  // declaration): draw the round's uniforms in whole blocks, push them
+  // through the vectorized transform / predicate / correction kernels,
+  // and emit the accepted candidates until `count` is reached. Surplus
+  // acceptances of the final round are discarded — out[] is always a
+  // prefix of the stream's infinite variate tape.
+  constexpr std::size_t kRound = kAttemptRound;
+  std::uint32_t ua[kRound], ub[kRound], u1[kRound], u2[kRound];
+  float n0[kRound], n0c[kRound], g_value[kRound];
+  std::uint8_t n0_valid[kRound], g_ok[kRound];
+  const bool two_uniforms = uniforms_per_attempt(transform_) == 2;
+
+  std::size_t filled = 0;
+  while (filled < count) {
+    px.generate_block(ua, kRound);
+    if (two_uniforms) px.generate_block(ub, kRound);
+    normal_attempt_block(transform_, ua, two_uniforms ? ub : nullptr, kRound,
+                         n0, n0_valid);
+
+    // Compact the valid normals; u1 is drawn for exactly those.
+    std::size_t n_valid = 0;
+    for (std::size_t i = 0; i < kRound; ++i) {
+      n0c[n_valid] = n0[i];
+      n_valid += n0_valid[i];
+    }
+    px.generate_block(u1, n_valid);
+    simd::gamma_attempt_block(n0c, u1, n_valid, k_, g_value, g_ok);
+
+    // Compact the accepted candidates; u2 is drawn for exactly those.
+    std::size_t n_accepted = 0;
+    for (std::size_t i = 0; i < n_valid; ++i) {
+      g_value[n_accepted] = g_value[i];
+      n_accepted += g_ok[i];
+    }
+    if (k_.boosted) {
+      px.generate_block(u2, n_accepted);
+      simd::gamma_correct_block(g_value, u2, n_accepted, k_);
+    }
+
+    const std::size_t take = std::min(n_accepted, count - filled);
+    std::memcpy(out + filled, g_value, take * sizeof(float));
+    filled += take;
+    if (take == n_accepted) {
+      attempts_ += kRound;
+      accepted_ += n_accepted;
+    } else {
+      // Final round: count attempts only up to the one that produced
+      // the last emitted variate, matching the scalar stats contract.
+      std::size_t acc = 0, vi = 0;
+      for (std::size_t i = 0; i < kRound; ++i) {
+        ++attempts_;
+        if (n0_valid[i]) {
+          if (g_ok[vi] && ++acc == take) break;
+          ++vi;
+        }
+      }
+      accepted_ += take;
     }
   }
 }

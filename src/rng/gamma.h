@@ -17,6 +17,7 @@
 
 #include "rng/mersenne_twister.h"
 #include "rng/normal.h"
+#include "rng/philox.h"
 
 namespace dwi::rng {
 
@@ -73,6 +74,28 @@ class GammaSampler {
   /// bit-identical — the equivalence suite pins this. The buffer reads
   /// ahead of demand, so `mt` should be dedicated to this sampler.
   void sample_block(MersenneTwister& mt, float* out, std::size_t count);
+
+  /// Counter-based block path: fill out[0..count) from a Philox
+  /// stream through the vectorized batch kernels (normal transform,
+  /// Marsaglia-Tsang predicate, α<1 correction — rng/simd_kernels.h).
+  ///
+  /// Unlike the MersenneTwister overload, this path defines its OWN
+  /// deterministic uniform-consumption order (it is NOT the scalar
+  /// sample() order): attempts run in fixed rounds of kAttemptRound;
+  /// each round draws one ua block (plus ub when the transform takes
+  /// two uniforms), then one u1 block for the round's valid normals,
+  /// then one u2 block for its accepted candidates. The order depends
+  /// only on the stream contents, never on `count`, so out[] is a
+  /// prefix of one infinite per-stream variate tape: serving the same
+  /// stream with any count (or re-deriving the stream via O(1) seek)
+  /// reproduces the same leading values bit-for-bit — the property the
+  /// counter-based serving strategy keys on.
+  void sample_block(Philox& px, float* out, std::size_t count);
+
+  /// Fixed attempts-per-round of the Philox block path — part of the
+  /// deterministic-order contract above, so changing it changes every
+  /// counter-based stream's tape.
+  static constexpr std::size_t kAttemptRound = 1024;
 
   /// Attempts and acceptances so far. The "combined rejection rate" in
   /// the paper's sense (§IV-E) is the fraction of main-loop iterations

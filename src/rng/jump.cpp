@@ -1,5 +1,7 @@
 #include "rng/jump.h"
 
+#include <array>
+#include <atomic>
 #include <mutex>
 
 #include "common/error.h"
@@ -87,13 +89,21 @@ MersenneTwister make_jumped(const MtParams& params, std::uint32_t seed,
   return MersenneTwister(params, unpack_state(params, v));
 }
 
-/// chain[j] = T^(stride · 2^j). Grown on demand under the mutex; the
-/// matrix-vector applies in stream() also run under it — they cost
-/// ~dim·words word-ops each, negligible next to the sampling work a
-/// substream feeds, and sharing the lock keeps the growth safe.
+/// chain[j] = T^(stride · 2^j), grown on demand. Growth (the expensive
+/// matrix squarings) is serialized by `growth_mutex`; the matrix-vector
+/// applies in stream() are lock-free. The scheme: slots live in a
+/// fixed array (indices never exceed 64 bits, so 64 slots suffice and
+/// nothing ever reallocates), a slot is fully constructed before
+/// `ready` is advanced past it with release order, and readers that
+/// observe `ready >= bit` with acquire order may dereference
+/// chain[bit] without synchronization — entries below the watermark
+/// are immutable for the cache's lifetime. Concurrent first-touch of
+/// the same high bit is safe: both threads race to the mutex, the
+/// loser re-checks `ready` and finds the squarings already done.
 struct SubstreamSplitter::PowerCache {
-  std::mutex mutex;
-  std::vector<Gf2Matrix> chain;
+  std::mutex growth_mutex;
+  std::array<std::unique_ptr<Gf2Matrix>, 64> chain;
+  std::atomic<std::size_t> ready{0};  ///< slots [0, ready) are immutable
 };
 
 SubstreamSplitter::SubstreamSplitter(const MtParams& params,
@@ -117,18 +127,27 @@ SubstreamSplitter::SubstreamSplitter(const MtParams& params,
     base = base.square();
   }
   cache_ = std::make_shared<PowerCache>();
-  cache_->chain.push_back(t_stride_);
+  cache_->chain[0] = std::make_unique<Gf2Matrix>(t_stride_);
+  cache_->ready.store(1, std::memory_order_release);
 }
 
 MersenneTwister SubstreamSplitter::stream(std::uint64_t index) const {
   auto v = seed_state_;
   if (index > 0) {
-    std::lock_guard lock(cache_->mutex);
-    std::vector<Gf2Matrix>& chain = cache_->chain;
+    std::size_t bits = 0;
+    for (std::uint64_t k = index; k != 0; k >>= 1) ++bits;
+    if (cache_->ready.load(std::memory_order_acquire) < bits) {
+      std::lock_guard lock(cache_->growth_mutex);
+      std::size_t have = cache_->ready.load(std::memory_order_relaxed);
+      while (have < bits) {
+        cache_->chain[have] =
+            std::make_unique<Gf2Matrix>(cache_->chain[have - 1]->square());
+        cache_->ready.store(++have, std::memory_order_release);
+      }
+    }
     std::uint64_t k = index;
     for (std::size_t bit = 0; k != 0; k >>= 1, ++bit) {
-      if (bit >= chain.size()) chain.push_back(chain.back().square());
-      if (k & 1u) v = chain[bit].apply(v);
+      if (k & 1u) v = cache_->chain[bit]->apply(v);
     }
   }
   return MersenneTwister(params_, unpack_state(params_, v));

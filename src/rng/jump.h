@@ -57,9 +57,10 @@ std::vector<MersenneTwister> make_parallel_streams(const MtParams& params,
 /// (key = shard index); this class provides it for the paper's
 /// Mersenne-Twister family.
 ///
-/// const and safe to share across threads after construction
-/// (stream() serializes internally on a small lock while it applies
-/// cached matrix powers; the expensive squarings are computed once).
+/// const and safe to share across threads after construction. The
+/// matrix-vector applies in stream() are lock-free; only growing the
+/// cached squaring chain (first touch of a new high bit of `index`)
+/// takes a lock, and each squaring is computed exactly once.
 class SubstreamSplitter {
  public:
   /// Requires a small DCMT geometry (period exponent <= 1300, e.g.

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
+#include <unordered_map>
+
+#include "rng/simd_kernels.h"
 
 namespace dwi::rng {
 
@@ -56,72 +59,105 @@ MersenneTwister::MersenneTwister(const MtParams& params,
   index_ = params_.n;  // force a twist before the first output
 }
 
+namespace {
+
+// Memoized Knuth seeding. Partition sweeps (simt/runtime_estimator)
+// construct thousands of twisters from a small set of recurring
+// (seed, geometry) pairs; the serial init recurrence is the dominant
+// construction cost, while replaying a cached state is one memcpy.
+// Thread-local, so no synchronization; capped so long-lived servers
+// with many distinct seeds cannot grow it without bound.
+struct SeedKey {
+  std::uint32_t s, n, f;
+  bool operator==(const SeedKey& o) const {
+    return s == o.s && n == o.n && f == o.f;
+  }
+};
+struct SeedKeyHash {
+  std::size_t operator()(const SeedKey& k) const {
+    std::uint64_t h = (std::uint64_t{k.s} << 32) ^
+                      (std::uint64_t{k.n} << 8) ^ k.f;
+    h *= 0x9e3779b97f4a7c15ull;
+    return static_cast<std::size_t>(h ^ (h >> 32));
+  }
+};
+constexpr std::size_t kSeedCacheCap = 1024;
+
+}  // namespace
+
 void MersenneTwister::seed(std::uint32_t s) {
+  thread_local std::unordered_map<SeedKey, std::vector<std::uint32_t>,
+                                  SeedKeyHash>
+      cache;
+  const SeedKey key{s, params_.n, params_.f};
+  auto it = cache.find(key);
+  if (it != cache.end()) {
+    std::memcpy(state_.data(), it->second.data(),
+                params_.n * sizeof(std::uint32_t));
+    index_ = params_.n;
+    return;
+  }
   state_[0] = s;
   for (unsigned i = 1; i < params_.n; ++i) {
     state_[i] =
         params_.f * (state_[i - 1] ^ (state_[i - 1] >> 30)) + i;
   }
   index_ = params_.n;
+  if (cache.size() >= kSeedCacheCap) cache.clear();
+  cache.emplace(key, state_);
 }
 
-void MersenneTwister::refill() {
+void MersenneTwister::twist() {
   // One in-place pass of the twist recurrence
   //   x = (s[i] & upper) | (s[i+1 mod n] & lower)
   //   s[i] <- s[i+m mod n] ^ (x >> 1) ^ (lsb(x) ? a : 0)
-  // split into three modulo-free segments so each loop body is pure
-  // straight-line integer code. Segment boundaries encode exactly
-  // which neighbours have already been rewritten by this pass (for
-  // i >= n-m the middle word i+m wraps onto the updated prefix; the
-  // last word additionally wraps its successor onto updated s[0]),
-  // so the result is bit-identical to the classic word-at-a-time
-  // formulation. Tempering then runs as a second tight loop into
-  // block_, which next()/generate_block() serve from.
-  std::uint32_t* s = state_.data();
-  const unsigned n = params_.n;
-  const unsigned m = params_.m;
-  const std::uint32_t a = params_.a;
-  const std::uint32_t um = upper_mask_;
-  const std::uint32_t lm = lower_mask_;
+  // via the dispatched block kernel (rng/simd_kernels.h): three
+  // modulo-free segments whose boundaries encode exactly which
+  // neighbours have already been rewritten by this pass, bit-identical
+  // to the classic word-at-a-time formulation in every variant.
+  simd::mt_twist_block(state_.data(), params_);
+}
 
-  for (unsigned i = 0; i < n - m; ++i) {
-    const std::uint32_t x = (s[i] & um) | (s[i + 1] & lm);
-    s[i] = s[i + m] ^ (x >> 1) ^ ((x & 1u) ? a : 0u);
-  }
-  for (unsigned i = n - m; i < n - 1; ++i) {
-    const std::uint32_t x = (s[i] & um) | (s[i + 1] & lm);
-    s[i] = s[i + m - n] ^ (x >> 1) ^ ((x & 1u) ? a : 0u);
-  }
-  {
-    const std::uint32_t x = (s[n - 1] & um) | (s[0] & lm);
-    s[n - 1] = s[m - 1] ^ (x >> 1) ^ ((x & 1u) ? a : 0u);
-  }
-
-  std::uint32_t* out = block_.data();
-  const unsigned sh_u = params_.u, sh_s = params_.s;
-  const unsigned sh_t = params_.t, sh_l = params_.l;
-  const std::uint32_t d = params_.d, b = params_.b, c = params_.c;
-  for (unsigned i = 0; i < n; ++i) {
-    std::uint32_t y = s[i];
-    y ^= (y >> sh_u) & d;
-    y ^= (y << sh_s) & b;
-    y ^= (y << sh_t) & c;
-    y ^= y >> sh_l;
-    out[i] = y;
-  }
+void MersenneTwister::refill() {
+  // Twist, then temper as a second tight loop into block_, which
+  // next()/generate_block() serve from.
+  twist();
+  simd::mt_temper_block(state_.data(), params_.n, params_, block_.data());
   index_ = 0;
 }
 
 void MersenneTwister::generate_block(std::uint32_t* out, std::size_t count) {
   const unsigned n = params_.n;
-  while (count > 0) {
-    if (index_ >= n) refill();
+  // Drain whatever the tempered buffer still holds.
+  if (index_ < n) {
     const std::size_t take =
         std::min<std::size_t>(count, static_cast<std::size_t>(n - index_));
     std::memcpy(out, block_.data() + index_, take * sizeof(std::uint32_t));
     index_ += static_cast<unsigned>(take);
     out += take;
     count -= take;
+  }
+  // Bulk path: twist whole blocks straight into `out` untempered, then
+  // temper the run in one pass (in place — the kernel is elementwise).
+  // For small-n geometries (MT(521), n = 17) this replaces a per-block
+  // refill + dispatch + memcpy round-trip with one dense temper call.
+  if (count >= n) {
+    std::uint32_t* const raw = out;
+    std::size_t run = 0;
+    do {
+      twist();
+      std::memcpy(out, state_.data(), n * sizeof(std::uint32_t));
+      out += n;
+      run += n;
+      count -= n;
+    } while (count >= n);
+    simd::mt_temper_block(raw, run, params_, raw);
+  }
+  // Tail shorter than a block: refill and serve from the buffer.
+  if (count > 0) {
+    refill();
+    std::memcpy(out, block_.data(), count * sizeof(std::uint32_t));
+    index_ = static_cast<unsigned>(count);
   }
 }
 

@@ -102,6 +102,9 @@ class MersenneTwister {
  private:
   friend class AdaptedMersenneTwister;
 
+  /// One in-place twist pass over the whole state array (no temper).
+  void twist();
+
   /// Twist the whole state array and temper it into block_; resets
   /// index_ to 0. Bit-identical to n successive classic twist steps.
   void refill();

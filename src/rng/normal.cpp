@@ -6,7 +6,9 @@
 #include "common/bits.h"
 #include "common/error.h"
 #include "rng/erfinv.h"
+#include "rng/fastmath.h"
 #include "rng/icdf_bitwise.h"
+#include "rng/simd_kernels.h"
 
 namespace dwi::rng {
 
@@ -36,7 +38,7 @@ NormalAttempt marsaglia_bray_attempt(std::uint32_t u1, std::uint32_t u2) {
   const float v2 = 2.0f * uint2float_open0(u2) - 1.0f;
   const float s = v1 * v1 + v2 * v2;
   if (s >= 1.0f || s == 0.0f) return NormalAttempt{0.0f, false};
-  const float f = std::sqrt(-2.0f * std::log(s) / s);
+  const float f = std::sqrt(-2.0f * fast_logf(s) / s);
   return NormalAttempt{v1 * f, true};
 }
 
@@ -71,24 +73,18 @@ void normal_attempt_block(NormalTransform t, const std::uint32_t* ua,
                           float* value, std::uint8_t* valid) {
   switch (t) {
     case NormalTransform::kMarsagliaBray:
-      for (std::size_t i = 0; i < count; ++i) {
-        const NormalAttempt a = marsaglia_bray_attempt(ua[i], ub[i]);
-        value[i] = a.value;
-        valid[i] = a.valid ? 1 : 0;
-      }
+      // Dispatched block kernel (AVX2 when available; bit-identical
+      // scalar otherwise — rng/simd_kernels.h).
+      simd::mb_attempt_block(ua, ub, count, value, valid);
       return;
     case NormalTransform::kIcdfBitwise:
-      for (std::size_t i = 0; i < count; ++i) {
-        const IcdfResult r = normal_icdf_bitwise(ua[i]);
-        value[i] = r.value;
-        valid[i] = r.valid ? 1 : 0;
-      }
+      // Dispatched integer kernel; exact by construction (LZD + table
+      // lookup + fixed-point MACs have no rounding to diverge on).
+      simd::icdf_bitwise_block(ua, count, value, valid);
       return;
     case NormalTransform::kIcdfCuda:
-      for (std::size_t i = 0; i < count; ++i) {
-        value[i] = normal_icdf_cuda(ua[i]);
-        valid[i] = 1;
-      }
+      simd::icdf_cuda_block(ua, count, value);
+      for (std::size_t i = 0; i < count; ++i) valid[i] = 1;
       return;
     case NormalTransform::kBoxMuller:
       for (std::size_t i = 0; i < count; ++i) {

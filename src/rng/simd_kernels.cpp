@@ -1,0 +1,222 @@
+#include "rng/simd_kernels.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/bits.h"
+#include "rng/erfinv.h"
+#include "rng/fastmath.h"
+#include "rng/icdf_bitwise.h"
+#include "rng/normal.h"
+#include "rng/philox.h"
+
+namespace dwi::rng::simd {
+
+const char* to_string(Level level) {
+  switch (level) {
+    case Level::kScalar: return "scalar";
+    case Level::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+bool avx2_compiled() {
+#if defined(DWI_SIMD_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+Level detect_level() {
+  if (const char* e = std::getenv("DWI_SIMD")) {
+    if (std::strcmp(e, "scalar") == 0) return Level::kScalar;
+    if (std::strcmp(e, "avx2") == 0 && avx2_compiled()) return Level::kAvx2;
+    // Unknown or unavailable request: fall through to detection so a
+    // typo degrades to the safe default instead of crashing later.
+  }
+#if defined(DWI_SIMD_AVX2)
+  if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+#endif
+  return Level::kScalar;
+}
+
+}  // namespace
+
+Level active_level() {
+  static const Level level = detect_level();
+  return level;
+}
+
+// --- scalar references --------------------------------------------------
+// These call the canonical scalar functions so the oracle is the
+// production scalar path itself, not a reimplementation.
+
+void mb_attempt_block_scalar(const std::uint32_t* ua, const std::uint32_t* ub,
+                             std::size_t count, float* value,
+                             std::uint8_t* valid) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const NormalAttempt a = marsaglia_bray_attempt(ua[i], ub[i]);
+    value[i] = a.value;
+    valid[i] = a.valid ? 1 : 0;
+  }
+}
+
+void mb_finish_block_scalar(float* n0, const float* s, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    n0[i] = n0[i] * std::sqrt(-2.0f * fast_logf(s[i]) / s[i]);
+  }
+}
+
+void icdf_cuda_block_scalar(const std::uint32_t* u, std::size_t count,
+                            float* value) {
+  for (std::size_t i = 0; i < count; ++i) {
+    value[i] = normal_icdf_cuda(u[i]);
+  }
+}
+
+void icdf_bitwise_block_scalar(const std::uint32_t* u, std::size_t count,
+                               float* value, std::uint8_t* valid) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const IcdfResult r = normal_icdf_bitwise(u[i]);
+    value[i] = r.value;
+    valid[i] = r.valid ? 1 : 0;
+  }
+}
+
+void gamma_attempt_block_scalar(const float* n0, const std::uint32_t* u1,
+                                std::size_t count, const GammaConstants& k,
+                                float* value, std::uint8_t* valid) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const GammaAttempt g = gamma_attempt(n0[i], uint2float_open0(u1[i]), k);
+    value[i] = g.value;
+    valid[i] = g.valid ? 1 : 0;
+  }
+}
+
+void gamma_correct_block_scalar(float* g, const std::uint32_t* u2,
+                                std::size_t count, const GammaConstants& k) {
+  for (std::size_t i = 0; i < count; ++i) {
+    g[i] = gamma_correct(g[i], uint2float_open0(u2[i]), k);
+  }
+}
+
+void mt_temper_block_scalar(const std::uint32_t* state, std::size_t count,
+                            const MtParams& p, std::uint32_t* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint32_t y = state[i];
+    y ^= (y >> p.u) & p.d;
+    y ^= (y << p.s) & p.b;
+    y ^= (y << p.t) & p.c;
+    y ^= y >> p.l;
+    out[i] = y;
+  }
+}
+
+void mt_twist_block_scalar(std::uint32_t* state, const MtParams& p) {
+  // Mirror of the classic three-segment twist (see the commentary in
+  // MersenneTwister::twist before it delegated here). (-(x & 1)) & a
+  // selects the twist coefficient branchlessly — the lsb is
+  // effectively random, so a conditional would mispredict half the
+  // time.
+  std::uint32_t* s = state;
+  const unsigned n = p.n;
+  const unsigned m = p.m;
+  const std::uint32_t a = p.a;
+  const std::uint32_t lm =
+      (p.r == 32) ? 0xffffffffu : ((std::uint32_t{1} << p.r) - 1);
+  const std::uint32_t um = ~lm;
+
+  for (unsigned i = 0; i < n - m; ++i) {
+    const std::uint32_t x = (s[i] & um) | (s[i + 1] & lm);
+    s[i] = s[i + m] ^ (x >> 1) ^ ((-(x & 1u)) & a);
+  }
+  for (unsigned i = n - m; i < n - 1; ++i) {
+    const std::uint32_t x = (s[i] & um) | (s[i + 1] & lm);
+    s[i] = s[i + m - n] ^ (x >> 1) ^ ((-(x & 1u)) & a);
+  }
+  {
+    const std::uint32_t x = (s[n - 1] & um) | (s[0] & lm);
+    s[n - 1] = s[m - 1] ^ (x >> 1) ^ ((-(x & 1u)) & a);
+  }
+}
+
+void philox_block_scalar(const std::uint32_t* counter, const std::uint32_t* key,
+                         std::size_t nblocks, std::uint32_t* out) {
+  std::array<std::uint32_t, 4> c{counter[0], counter[1], counter[2],
+                                 counter[3]};
+  const std::array<std::uint32_t, 2> k{key[0], key[1]};
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const std::array<std::uint32_t, 4> r = philox4x32(c, k);
+    out[0] = r[0];
+    out[1] = r[1];
+    out[2] = r[2];
+    out[3] = r[3];
+    out += 4;
+    for (auto& w : c) {
+      if (++w != 0) break;
+    }
+  }
+}
+
+// --- dispatched entry points --------------------------------------------
+
+#if defined(DWI_SIMD_AVX2)
+#define DWI_DISPATCH(fn, ...)                                     \
+  do {                                                            \
+    if (active_level() == Level::kAvx2) return fn##_avx2(__VA_ARGS__); \
+    return fn##_scalar(__VA_ARGS__);                              \
+  } while (0)
+#else
+#define DWI_DISPATCH(fn, ...) return fn##_scalar(__VA_ARGS__)
+#endif
+
+void mb_attempt_block(const std::uint32_t* ua, const std::uint32_t* ub,
+                      std::size_t count, float* value, std::uint8_t* valid) {
+  DWI_DISPATCH(mb_attempt_block, ua, ub, count, value, valid);
+}
+
+void mb_finish_block(float* n0, const float* s, std::size_t count) {
+  DWI_DISPATCH(mb_finish_block, n0, s, count);
+}
+
+void icdf_cuda_block(const std::uint32_t* u, std::size_t count, float* value) {
+  DWI_DISPATCH(icdf_cuda_block, u, count, value);
+}
+
+void icdf_bitwise_block(const std::uint32_t* u, std::size_t count,
+                        float* value, std::uint8_t* valid) {
+  DWI_DISPATCH(icdf_bitwise_block, u, count, value, valid);
+}
+
+void gamma_attempt_block(const float* n0, const std::uint32_t* u1,
+                         std::size_t count, const GammaConstants& k,
+                         float* value, std::uint8_t* valid) {
+  DWI_DISPATCH(gamma_attempt_block, n0, u1, count, k, value, valid);
+}
+
+void gamma_correct_block(float* g, const std::uint32_t* u2, std::size_t count,
+                         const GammaConstants& k) {
+  DWI_DISPATCH(gamma_correct_block, g, u2, count, k);
+}
+
+void mt_temper_block(const std::uint32_t* state, std::size_t count,
+                     const MtParams& p, std::uint32_t* out) {
+  DWI_DISPATCH(mt_temper_block, state, count, p, out);
+}
+
+void mt_twist_block(std::uint32_t* state, const MtParams& p) {
+  DWI_DISPATCH(mt_twist_block, state, p);
+}
+
+void philox_block(const std::uint32_t* counter, const std::uint32_t* key,
+                  std::size_t nblocks, std::uint32_t* out) {
+  DWI_DISPATCH(philox_block, counter, key, nblocks, out);
+}
+
+#undef DWI_DISPATCH
+
+}  // namespace dwi::rng::simd

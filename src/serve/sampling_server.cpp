@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -33,10 +34,14 @@ double duration_seconds(std::chrono::steady_clock::time_point from,
 
 SamplingServer::SamplingServer(ServeConfig cfg)
     : cfg_(cfg),
-      splitter_(cfg.mt, cfg.server_seed, cfg.substream_stride) {
+      splitter_(cfg.mt, cfg.server_seed, cfg.substream_stride),
+      counter_streams_(cfg.server_seed, cfg.substream_stride) {
   DWI_REQUIRE(cfg_.substreams_per_request >= 2,
               "serve: need at least one gamma slot and one sector slot "
               "per request id");
+  DWI_REQUIRE(cfg_.stream_strategy != rng::StreamStrategy::kDistinctSeeds,
+              "serve: kDistinctSeeds cannot guarantee non-overlapping "
+              "request substreams; use kJumpAhead or kCounterBased");
   SchedulerConfig sched;
   sched.queue_capacity = cfg_.queue_capacity;
   sched.max_batch = cfg_.max_batch;
@@ -57,6 +62,17 @@ rng::MersenneTwister SamplingServer::sector_stream(RequestId id,
   DWI_REQUIRE(k + 1 < cfg_.substreams_per_request,
               "serve: sector index exceeds the request's substream block");
   return splitter_.stream(id * cfg_.substreams_per_request + 1 + k);
+}
+
+rng::Philox SamplingServer::gamma_counter_stream(RequestId id) const {
+  return counter_streams_.stream(id * cfg_.substreams_per_request);
+}
+
+rng::Philox SamplingServer::sector_counter_stream(RequestId id,
+                                                  std::size_t k) const {
+  DWI_REQUIRE(k + 1 < cfg_.substreams_per_request,
+              "serve: sector index exceeds the request's substream block");
+  return counter_streams_.stream(id * cfg_.substreams_per_request + 1 + k);
 }
 
 std::uint64_t SamplingServer::poisson_seed(RequestId id) const {
@@ -95,13 +111,18 @@ ServeStatus SamplingServer::validate(const CreditRiskRequest& req) const {
 }
 
 GammaResult SamplingServer::compute(const GammaRequest& req) const {
-  rng::MersenneTwister mt = gamma_stream(req.id);
   rng::GammaSampler sampler(rng::GammaConstants::make(req.alpha, req.scale),
                             req.transform);
   GammaResult res;
   res.id = req.id;
   res.samples.resize(req.count);
-  sampler.sample_block(mt, res.samples.data(), res.samples.size());
+  if (cfg_.stream_strategy == rng::StreamStrategy::kCounterBased) {
+    rng::Philox px = gamma_counter_stream(req.id);
+    sampler.sample_block(px, res.samples.data(), res.samples.size());
+  } else {
+    rng::MersenneTwister mt = gamma_stream(req.id);
+    sampler.sample_block(mt, res.samples.data(), res.samples.size());
+  }
   res.attempts = sampler.attempts();
   res.accepted = sampler.accepted();
   return res;
@@ -109,25 +130,35 @@ GammaResult SamplingServer::compute(const GammaRequest& req) const {
 
 CreditRiskResult SamplingServer::compute(const CreditRiskRequest& req) const {
   const finance::Portfolio& portfolio = *req.portfolio;
+  const bool counter_based =
+      cfg_.stream_strategy == rng::StreamStrategy::kCounterBased;
+  // One uniform source per sector; exactly one of {mt, px} is consumed,
+  // selected once per request rather than per draw.
   struct SectorStream {
     rng::GammaSampler sampler;
-    rng::MersenneTwister mt;
+    std::optional<rng::MersenneTwister> mt;
+    std::optional<rng::Philox> px;
   };
   std::vector<SectorStream> streams;
   streams.reserve(portfolio.num_sectors());
   for (std::size_t k = 0; k < portfolio.num_sectors(); ++k) {
-    streams.push_back(SectorStream{
-        rng::GammaSampler(
-            rng::GammaConstants::from_sector_variance(
-                static_cast<float>(portfolio.sectors()[k].variance)),
-            rng::NormalTransform::kMarsagliaBray),
-        sector_stream(req.id, k)});
+    SectorStream s{rng::GammaSampler(
+                       rng::GammaConstants::from_sector_variance(
+                           static_cast<float>(portfolio.sectors()[k].variance)),
+                       rng::NormalTransform::kMarsagliaBray),
+                   std::nullopt, std::nullopt};
+    if (counter_based) {
+      s.px.emplace(sector_counter_stream(req.id, k));
+    } else {
+      s.mt.emplace(sector_stream(req.id, k));
+    }
+    streams.push_back(std::move(s));
   }
   const finance::GammaSource source =
       [&streams](std::uint64_t, std::size_t sector) -> double {
     SectorStream& s = streams[sector];
-    return static_cast<double>(
-        s.sampler.sample([&s] { return s.mt.next(); }));
+    return static_cast<double>(s.sampler.sample(
+        [&s] { return s.px ? s.px->next() : s.mt->next(); }));
   };
 
   finance::McConfig mc;

@@ -34,6 +34,8 @@
 
 #include "rng/jump.h"
 #include "rng/mersenne_twister.h"
+#include "rng/philox.h"
+#include "rng/stream_strategy.h"
 #include "serve/batch_scheduler.h"
 #include "serve/metrics.h"
 #include "serve/request.h"
@@ -67,6 +69,21 @@ struct ServeConfig {
   /// Splitter geometry. Jump-ahead needs a small-period member of the
   /// MT family (rng/jump.h) — the paper's MT(521) by default.
   rng::MtParams mt = rng::mt521_params();
+
+  /// How request substreams are derived from (server_seed, id):
+  ///   kJumpAhead (default) — GF(2) offsets into one master MT(521)
+  ///     sequence; derivation costs popcount(index) matrix-vector
+  ///     applies against the splitter's cached squaring chain.
+  ///   kCounterBased — the same index space over one master Philox
+  ///     counter sequence; derivation is a counter write, O(1) with
+  ///     zero shared state, and any position of a served request's
+  ///     uniform tape can be seek()ed for cheap recomputation.
+  /// The two strategies sample different (equally valid) stream
+  /// families, so switching changes response VALUES; within either
+  /// strategy the determinism contract is identical.
+  /// kDistinctSeeds is not accepted: a serving layer must make
+  /// cross-request stream overlap impossible, not merely improbable.
+  rng::StreamStrategy stream_strategy = rng::StreamStrategy::kJumpAhead;
 };
 
 class SamplingServer {
@@ -102,10 +119,17 @@ class SamplingServer {
 
   /// The substream a gamma request with this id draws from (exposed so
   /// tests and offline pipelines can reproduce server results without
-  /// a server).
+  /// a server). Only meaningful under kJumpAhead.
   rng::MersenneTwister gamma_stream(RequestId id) const;
   /// The substream sector `k` of CreditRisk+ request `id` draws from.
   rng::MersenneTwister sector_stream(RequestId id, std::size_t k) const;
+  /// kCounterBased counterparts: the Philox stream positioned at the
+  /// request's slot, derived in O(1). skip() from its start reaches
+  /// any position of the request's uniform tape in O(1), so offline
+  /// recomputation of a served response (or any suffix of one) never
+  /// replays the master sequence.
+  rng::Philox gamma_counter_stream(RequestId id) const;
+  rng::Philox sector_counter_stream(RequestId id, std::size_t k) const;
   /// The Poisson seed CreditRisk+ request `id` conditions on.
   std::uint64_t poisson_seed(RequestId id) const;
 
@@ -120,7 +144,8 @@ class SamplingServer {
                           std::future<Result>* out);
 
   ServeConfig cfg_;
-  rng::SubstreamSplitter splitter_;
+  rng::SubstreamSplitter splitter_;      ///< kJumpAhead derivation
+  rng::CounterSubstreams counter_streams_;  ///< kCounterBased derivation
   ServerMetrics metrics_;
   std::unique_ptr<BatchScheduler> scheduler_;  ///< last member: drains first
 };

@@ -87,18 +87,31 @@ class LockstepPartition {
     return width_ == 64 ? ~Mask{0} : ((Mask{1} << width_) - 1);
   }
 
+  /// The issue-slot cost of a bundle on this partition's platform.
+  /// Kernels that execute the same bundle every iteration precompute
+  /// this once and pass it to the `base_cost` region overload below.
+  double bundle_cost(const OpBundle& ops) const { return costs_.cost(ops); }
+
   /// Execute `body(lane)` for every lane active in `mask`. `parent`
   /// is the enclosing control-flow mask; mask ⊊ parent marks the
   /// region divergent. Cost is charged per the divergence model above.
   template <typename Body>
   void region(Mask mask, Mask parent, const OpBundle& ops, Body&& body) {
+    region(mask, parent, ops, costs_.cost(ops), std::forward<Body>(body));
+  }
+
+  /// Same, with the bundle's cost precomputed by `bundle_cost` —
+  /// hoists the per-op-class dot product out of hot loops.
+  template <typename Body>
+  void region(Mask mask, Mask parent, const OpBundle& ops, double base_cost,
+              Body&& body) {
     mask &= full_mask();
     parent &= full_mask();
     DWI_ASSERT((mask & ~parent) == 0);
     if (mask == 0) return;
     const unsigned active = popcount(mask);
     const bool divergent = mask != parent;
-    const double base = costs_.cost(ops);
+    const double base = base_cost;
     const double charged =
         divergent
             ? base * ((1.0 - scalarization_) +
@@ -109,14 +122,20 @@ class LockstepPartition {
     ++stats_.regions;
     if (divergent) ++stats_.divergent_regions;
     if (observer_) observer_(mask, parent, ops);
-    for (unsigned lane = 0; lane < width_; ++lane) {
-      if (mask & (Mask{1} << lane)) body(lane);
+    for (Mask m = mask; m != 0; m &= m - 1) {
+      body(static_cast<unsigned>(__builtin_ctzll(m)));
     }
   }
 
   /// Charge cost without a body (pure control overhead).
   void charge(Mask mask, Mask parent, const OpBundle& ops) {
     region(mask, parent, ops, [](unsigned) {});
+  }
+
+  /// Same, with the cost precomputed by `bundle_cost`.
+  void charge(Mask mask, Mask parent, const OpBundle& ops,
+              double base_cost) {
+    region(mask, parent, ops, base_cost, [](unsigned) {});
   }
 
   const SlotStats& stats() const { return stats_; }

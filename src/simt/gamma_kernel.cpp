@@ -1,25 +1,44 @@
 #include "simt/gamma_kernel.h"
 
 #include <cmath>
+#include <optional>
 
 #include "common/bits.h"
 #include "common/block_arena.h"
 #include "common/error.h"
 #include "rng/erfinv.h"
+#include "rng/fastmath.h"
 #include "rng/icdf_bitwise.h"
 #include "rng/normal.h"
+#include "rng/simd_kernels.h"
 
 namespace dwi::simt {
 
 namespace {
 
-/// Per-lane private state: the work-item's twisters and progress.
+/// Per-lane private state: the work-item's uniform streams and
+/// progress. Exactly one stream family is live per run — either the
+/// paper's distinct-seed twisters or, under kCounterBased, per-lane
+/// windows of one master Philox counter sequence (the optionals stay
+/// empty for the family not in use).
 struct LaneState {
   // MB uses two input twisters (mt0a/mt0b per [18]); ICDF uses mt0a.
-  rng::MersenneTwister mt0a;
-  rng::MersenneTwister mt0b;
-  rng::MersenneTwister mt1;   // rejection uniform
-  rng::MersenneTwister mt2;   // correction uniform
+  // mt0b is only constructed (and seeded) for two-uniform transforms —
+  // its stream is never consumed otherwise, so the other twisters'
+  // sequences are unaffected.
+  std::optional<rng::MersenneTwister> mt0a;
+  std::optional<rng::MersenneTwister> mt0b;
+  std::optional<rng::MersenneTwister> mt1;   // rejection uniform
+  std::optional<rng::MersenneTwister> mt2;   // correction uniform
+
+  // Counter-based streams: lane stream s is substream lane*4+s of the
+  // master sequence — derivation is a counter write, so "seeding" all
+  // lanes costs nothing (the modeled init advantage of statelessness).
+  std::optional<rng::Philox> px0a;
+  std::optional<rng::Philox> px0b;
+  std::optional<rng::Philox> px1;
+  std::optional<rng::Philox> px2;
+
   std::uint32_t produced = 0;
 
   // Per-iteration scratch, written by one region and read by the next.
@@ -31,9 +50,27 @@ struct LaneState {
   bool squeeze_pass = false;
   bool accepted = false;
 
-  LaneState(const rng::MtParams& params, std::uint32_t seed)
-      : mt0a(params, seed), mt0b(params, seed ^ 0x5851f42du),
-        mt1(params, seed ^ 0x9e3779b9u), mt2(params, seed ^ 0x6c078965u) {}
+  LaneState(const rng::MtParams& params, std::uint32_t seed,
+            bool two_uniforms) {
+    mt0a.emplace(params, seed);
+    mt1.emplace(params, seed ^ 0x9e3779b9u);
+    mt2.emplace(params, seed ^ 0x6c078965u);
+    if (two_uniforms) mt0b.emplace(params, seed ^ 0x5851f42du);
+  }
+
+  LaneState(const rng::CounterSubstreams& substreams, unsigned lane,
+            bool two_uniforms) {
+    const std::uint64_t base = std::uint64_t{lane} * 4u;
+    px0a = substreams.stream(base + 0);
+    px1 = substreams.stream(base + 2);
+    px2 = substreams.stream(base + 3);
+    if (two_uniforms) px0b = substreams.stream(base + 1);
+  }
+
+  std::uint32_t next0a() { return px0a ? px0a->next() : mt0a->next(); }
+  std::uint32_t next0b() { return px0b ? px0b->next() : mt0b->next(); }
+  std::uint32_t next1() { return px1 ? px1->next() : mt1->next(); }
+  std::uint32_t next2() { return px2 ? px2->next() : mt2->next(); }
 };
 
 }  // namespace
@@ -42,6 +79,7 @@ GammaKernelResult run_gamma_partition(
     const PlatformModel& platform, const rng::AppConfig& config,
     rng::NormalTransform transform, float sector_variance,
     std::uint32_t quota_per_lane, std::uint32_t seed,
+    rng::StreamStrategy strategy,
     LockstepPartition::RegionObserver observer) {
   DWI_REQUIRE(quota_per_lane > 0, "quota must be positive");
   const unsigned width = platform.width;
@@ -81,10 +119,27 @@ GammaKernelResult run_gamma_partition(
                                       : bundles::output_store();
   const OpBundle loop_bundle = bundles::loop_control();
 
+  DWI_REQUIRE(strategy != rng::StreamStrategy::kJumpAhead,
+              "simt: partitions use distinct seeds or counter-based "
+              "streams (see run_gamma_partition docs)");
+  const bool two_uniforms = rng::uniforms_per_attempt(transform) == 2;
+  const bool counter_based = strategy == rng::StreamStrategy::kCounterBased;
+  // Stride bound for counter-based lanes: each stream advances at most
+  // once per MAINLOOP trip, and a lane's expected trips per output are
+  // the attempt count (< 6 at every config shape); 64x quota plus slack
+  // leaves orders of magnitude of headroom inside the 2^128 counter
+  // space, which costs nothing.
+  const rng::CounterSubstreams substreams(
+      seed, std::uint64_t{quota_per_lane} * 64u + 4096u);
   std::vector<LaneState> lanes;
   lanes.reserve(width);
   for (unsigned i = 0; i < width; ++i) {
-    lanes.emplace_back(config.mt, seed * 2654435761u + i * 40503u + 1u);
+    if (counter_based) {
+      lanes.emplace_back(substreams, i, two_uniforms);
+    } else {
+      lanes.emplace_back(config.mt, seed * 2654435761u + i * 40503u + 1u,
+                         two_uniforms);
+    }
   }
 
   GammaKernelResult result;
@@ -92,10 +147,36 @@ GammaKernelResult run_gamma_partition(
 
   auto lane_bit = [](unsigned lane) { return Mask{1} << lane; };
 
+  // Per-bundle issue-slot costs are loop-invariant; fold the op-class
+  // dot products once instead of on every region call.
+  const double loop_cost = part.bundle_cost(loop_bundle);
+  const double normal_gen_cost = part.bundle_cost(normal_gen_bundle);
+  const double mb_finish_cost = part.bundle_cost(mb_finish_bundle);
+  const double rejection_cost = part.bundle_cost(rejection_bundle);
+  const double exact_cost = part.bundle_cost(exact_bundle);
+  const double correct_cost = part.bundle_cost(correct_bundle);
+
+  // Scratch for the hoisted block stages, sized so every block-kernel
+  // call can be padded up to a multiple of the 8-lane SIMD group with
+  // benign inputs (padded results are never read back); the pad keeps
+  // small active sets on the vector path instead of the scalar tail.
+  common::BlockArena& arena = common::thread_block_arena();
+  const std::size_t cap = static_cast<std::size_t>(width) + 8;
+  std::uint32_t* ua = arena.u32(0, cap);
+  std::uint32_t* ub = arena.u32(1, cap);
+  std::uint32_t* u2 = arena.u32(2, cap);
+  float* n_value = arena.f32(0, cap);
+  float* n_aux = arena.f32(1, cap);
+  float* fin_n0 = arena.f32(2, cap);
+  float* fin_s = arena.f32(3, cap);
+  float* gbuf = arena.f32(4, cap);
+  std::uint8_t* n_ok = arena.u8(0, cap);
+  const auto pad8 = [](std::size_t cnt) { return (cnt + 7) & ~std::size_t{7}; };
+
   Mask alive = part.full_mask();
   while (alive != 0) {
     ++result.iterations;
-    part.charge(alive, part.full_mask(), loop_bundle);
+    part.charge(alive, part.full_mask(), loop_bundle, loop_cost);
 
     // --- normal generation (all alive lanes) ----------------------------
     // The per-lane transform dispatch is hoisted out of the region:
@@ -109,18 +190,11 @@ GammaKernelResult run_gamma_partition(
     // instead of going through rng::normal_attempt_block.
     Mask normal_valid = 0;
     {
-      common::BlockArena& arena = common::thread_block_arena();
-      std::uint32_t* ua = arena.u32(0, width);
-      std::uint32_t* ub = arena.u32(1, width);
-      float* n_value = arena.f32(0, width);
-      float* n_aux = arena.f32(1, width);
-      std::uint8_t* n_ok = arena.u8(0, width);
-      const bool two_uniforms = rng::uniforms_per_attempt(transform) == 2;
       std::size_t cnt = 0;
-      for (unsigned i = 0; i < width; ++i) {
-        if ((alive & lane_bit(i)) == 0) continue;
-        ua[cnt] = lanes[i].mt0a.next();
-        if (two_uniforms) ub[cnt] = lanes[i].mt0b.next();
+      for (Mask m = alive; m != 0; m &= m - 1) {
+        const unsigned i = static_cast<unsigned>(__builtin_ctzll(m));
+        ua[cnt] = lanes[i].next0a();
+        if (two_uniforms) ub[cnt] = lanes[i].next0b();
         ++cnt;
       }
       if (uses_mb) {
@@ -133,10 +207,17 @@ GammaKernelResult run_gamma_partition(
           n_ok[j] = (s < 1.0f && s > 0.0f) ? 1 : 0;
         }
       } else {
-        rng::normal_attempt_block(transform, ua, ub, cnt, n_value, n_ok);
+        std::size_t padded = cnt;
+        if (transform == rng::NormalTransform::kIcdfCuda) {
+          // Pad to a full SIMD group; extra lanes compute a benign
+          // icdf(~0.5) that the region callback never reads.
+          for (padded = pad8(cnt); cnt < padded;) ua[cnt++] = 0x80000000u;
+        }
+        rng::normal_attempt_block(transform, ua, ub, padded, n_value, n_ok);
       }
       std::size_t j = 0;
-      part.region(alive, alive, normal_gen_bundle, [&](unsigned i) {
+      part.region(alive, alive, normal_gen_bundle, normal_gen_cost,
+                  [&](unsigned i) {
         LaneState& l = lanes[i];
         ++result.attempts;
         l.n0 = n_value[j];
@@ -148,19 +229,33 @@ GammaKernelResult run_gamma_partition(
     }
 
     // --- Marsaglia-Bray finish (divergent: only accepted lanes) ---------
+    // log/sqrt are the region's whole cost; batch them over the valid
+    // lanes (compacted in ascending lane order, matching the executor's
+    // callback order) and have the callback only write results back.
     if (uses_mb) {
-      part.region(normal_valid, alive, mb_finish_bundle, [&](unsigned i) {
-        LaneState& l = lanes[i];
-        const float s = l.v;
-        l.n0 = l.n0 * std::sqrt(-2.0f * std::log(s) / s);
-      });
+      std::size_t cnt = 0;
+      for (Mask m = normal_valid; m != 0; m &= m - 1) {
+        const unsigned i = static_cast<unsigned>(__builtin_ctzll(m));
+        fin_n0[cnt] = lanes[i].n0;
+        fin_s[cnt] = lanes[i].v;
+        ++cnt;
+      }
+      for (std::size_t p = pad8(cnt); cnt < p; ++cnt) {
+        fin_n0[cnt] = 0.0f;
+        fin_s[cnt] = 0.5f;
+      }
+      rng::simd::mb_finish_block(fin_n0, fin_s, cnt);
+      std::size_t j = 0;
+      part.region(normal_valid, alive, mb_finish_bundle, mb_finish_cost,
+                  [&](unsigned i) { lanes[i].n0 = fin_n0[j++]; });
     }
 
     // --- rejection stage (divergent when the transform rejects) ---------
     Mask candidate_ok = 0;
-    part.region(normal_valid, alive, rejection_bundle, [&](unsigned i) {
+    part.region(normal_valid, alive, rejection_bundle, rejection_cost,
+                [&](unsigned i) {
       LaneState& l = lanes[i];
-      l.u1 = uint2float_open0(l.mt1.next());
+      l.u1 = uint2float_open0(l.next1());
       const float t = 1.0f + k.c * l.n0;
       if (t <= 0.0f) {
         l.squeeze_pass = false;
@@ -176,41 +271,60 @@ GammaKernelResult run_gamma_partition(
 
     // --- exact log test for squeeze failures (divergent) ----------------
     Mask need_exact = 0;
-    for (unsigned i = 0; i < width; ++i) {
-      if ((candidate_ok & lane_bit(i)) && !lanes[i].squeeze_pass) {
-        need_exact |= lane_bit(i);
-      }
+    for (Mask m = candidate_ok; m != 0; m &= m - 1) {
+      const unsigned i = static_cast<unsigned>(__builtin_ctzll(m));
+      if (!lanes[i].squeeze_pass) need_exact |= lane_bit(i);
     }
-    part.region(need_exact, alive, exact_bundle, [&](unsigned i) {
+    part.region(need_exact, alive, exact_bundle, exact_cost,
+                [&](unsigned i) {
       LaneState& l = lanes[i];
       const float x2 = l.n0 * l.n0;
-      l.accepted =
-          std::log(l.u1) < 0.5f * x2 + k.d * (1.0f - l.v + std::log(l.v));
+      l.accepted = rng::fast_logf(l.u1) <
+                   0.5f * x2 + k.d * (1.0f - l.v + rng::fast_logf(l.v));
     });
 
     // --- correction + store (divergent: only accepted lanes) ------------
     Mask accepted_mask = 0;
-    for (unsigned i = 0; i < width; ++i) {
-      if ((candidate_ok & lane_bit(i)) && lanes[i].accepted &&
-          lanes[i].produced < quota_per_lane) {
+    for (Mask m = candidate_ok; m != 0; m &= m - 1) {
+      const unsigned i = static_cast<unsigned>(__builtin_ctzll(m));
+      if (lanes[i].accepted && lanes[i].produced < quota_per_lane) {
         accepted_mask |= lane_bit(i);
       }
     }
-    part.region(accepted_mask, alive, correct_bundle, [&](unsigned i) {
-      LaneState& l = lanes[i];
-      float g = k.d * l.v * k.scale;
-      if (k.boosted) {
-        const float u2 = uint2float_open0(l.mt2.next());
-        g = rng::gamma_correct(g, u2, k);
+    // The pow-based correction dominates this region; draw the u2
+    // uniforms in lane order and run one dense gamma_correct_block over
+    // the accepted lanes, leaving only the ordered stores in the
+    // callback.
+    {
+      std::size_t cnt = 0;
+      for (Mask m = accepted_mask; m != 0; m &= m - 1) {
+        const unsigned i = static_cast<unsigned>(__builtin_ctzll(m));
+        gbuf[cnt] = k.d * lanes[i].v * k.scale;
+        if (k.boosted) u2[cnt] = lanes[i].next2();
+        ++cnt;
       }
-      result.outputs.push_back(g);
-      ++l.produced;
-      ++result.accepted;
-    });
+      if (k.boosted) {
+        const std::size_t real = cnt;
+        for (std::size_t p = pad8(cnt); cnt < p; ++cnt) {
+          gbuf[cnt] = 1.0f;
+          u2[cnt] = 0x80000000u;
+        }
+        rng::simd::gamma_correct_block(gbuf, u2, cnt, k);
+        cnt = real;
+      }
+      std::size_t j = 0;
+      part.region(accepted_mask, alive, correct_bundle, correct_cost,
+                  [&](unsigned i) {
+        result.outputs.push_back(gbuf[j++]);
+        ++lanes[i].produced;
+        ++result.accepted;
+      });
+    }
 
     // --- loop exit: a lane retires when its quota is met -----------------
     Mask next_alive = 0;
-    for (unsigned i = 0; i < width; ++i) {
+    for (Mask m = alive; m != 0; m &= m - 1) {
+      const unsigned i = static_cast<unsigned>(__builtin_ctzll(m));
       if (lanes[i].produced < quota_per_lane) next_alive |= lane_bit(i);
     }
     alive = next_alive;

@@ -3,6 +3,7 @@
 // and the cycle-skipping kernel simulation must all be bit-identical
 // to their scalar / cycle-stepped reference formulations — these tests
 // pin that contract on every layer.
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -128,6 +129,52 @@ TEST(BlockRng, SamplerBlockMatchesScalar) {
   }
 }
 
+TEST(BlockRng, PhiloxSamplerBlockIsPrefixStableAndDeterministic) {
+  // sample_block(Philox&) defines its own deterministic attempt order:
+  // out[] must be a prefix of one infinite per-stream tape, so asking
+  // for more samples never changes the ones already produced, and the
+  // result is a pure function of the Philox key/position.
+  for (const float variance : {1.39f, 0.5f}) {
+    for (const auto transform : {rng::NormalTransform::kMarsagliaBray,
+                                 rng::NormalTransform::kIcdfBitwise,
+                                 rng::NormalTransform::kIcdfCuda}) {
+      const auto k = rng::GammaConstants::from_sector_variance(variance);
+
+      std::vector<float> small(700), large(4000), again(4000);
+      {
+        rng::GammaSampler s(k, transform);
+        rng::Philox px(2024u, 9);
+        s.sample_block(px, small.data(), small.size());
+      }
+      {
+        rng::GammaSampler s(k, transform);
+        rng::Philox px(2024u, 9);
+        s.sample_block(px, large.data(), large.size());
+      }
+      {
+        rng::GammaSampler s(k, transform);
+        rng::Philox px(2024u, 9);
+        s.sample_block(px, again.data(), again.size());
+      }
+      ASSERT_EQ(large, again) << "variance " << variance;
+      ASSERT_TRUE(std::equal(small.begin(), small.end(), large.begin()))
+          << "variance " << variance << ": short request is not a prefix "
+          << "of the long one";
+    }
+  }
+}
+
+TEST(BlockRng, PhiloxSamplerStatsAreConsistent) {
+  const auto k = rng::GammaConstants::from_sector_variance(1.39f);
+  rng::GammaSampler s(k, rng::NormalTransform::kMarsagliaBray);
+  rng::Philox px(7u, 0);
+  std::vector<float> out(5000);
+  s.sample_block(px, out.data(), out.size());
+  EXPECT_GE(s.accepted(), out.size());
+  EXPECT_GT(s.attempts(), s.accepted());
+  for (const float v : out) ASSERT_GT(v, 0.0f);
+}
+
 // ---------------------------------------------------------------------
 // Tape-batched GammaWorkItem == scalar Listing 2 path, call-for-call
 // ---------------------------------------------------------------------
@@ -208,6 +255,50 @@ TEST(BatchedWorkItem, MatchesScalarPathJumpAhead) {
   ASSERT_EQ(a.flags, b.flags);
   ASSERT_EQ(a.values, b.values);
   EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(BatchedWorkItem, MatchesScalarPathCounterBased) {
+  // The Philox-backed strategy must preserve the same batching
+  // invariant as the MT strategies: the tape-batched path replays the
+  // scalar Listing 2 control flow bit-for-bit.
+  for (const auto id : {rng::ConfigId::kConfig2, rng::ConfigId::kConfig3}) {
+    core::GammaWorkItemConfig scalar_cfg;
+    scalar_cfg.app = rng::config(id);
+    scalar_cfg.sector_variances = {1.39f, 0.5f, 2.0f};
+    scalar_cfg.outputs_per_sector = 96;
+    scalar_cfg.break_id = 1;
+    scalar_cfg.work_item_id = 2;
+    scalar_cfg.seed = 77;
+    scalar_cfg.stream_strategy = core::StreamStrategy::kCounterBased;
+    scalar_cfg.batch_iterations = 1;
+
+    core::GammaWorkItemConfig batched_cfg = scalar_cfg;
+    batched_cfg.batch_iterations = 2048;
+
+    const WorkItemRun a = run_work_item(scalar_cfg);
+    const WorkItemRun b = run_work_item(batched_cfg);
+    ASSERT_EQ(a.flags, b.flags) << "config " << static_cast<int>(id);
+    ASSERT_EQ(a.values, b.values) << "config " << static_cast<int>(id);
+    EXPECT_EQ(a.iterations, b.iterations);
+    EXPECT_EQ(a.outputs, b.outputs);
+  }
+}
+
+TEST(BatchedWorkItem, CounterBasedWorkItemsAreDecorrelated) {
+  // Distinct work-item ids own disjoint counter windows; their outputs
+  // must differ (structural non-overlap, not just statistically).
+  core::GammaWorkItemConfig cfg;
+  cfg.app = rng::config(rng::ConfigId::kConfig2);
+  cfg.sector_variances = {1.39f};
+  cfg.outputs_per_sector = 64;
+  cfg.break_id = 0;
+  cfg.seed = 5;
+  cfg.stream_strategy = core::StreamStrategy::kCounterBased;
+  cfg.work_item_id = 0;
+  const WorkItemRun a = run_work_item(cfg);
+  cfg.work_item_id = 1;
+  const WorkItemRun b = run_work_item(cfg);
+  EXPECT_NE(a.values, b.values);
 }
 
 // ---------------------------------------------------------------------

@@ -3,6 +3,10 @@
 // constructor.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "common/error.h"
 #include "rng/jump.h"
 #include "rng/mersenne_twister.h"
@@ -72,6 +76,52 @@ TEST(Jump, ParallelStreamsPartitionTheMasterSequence) {
 
 TEST(Jump, RejectsHugeGeometries) {
   EXPECT_THROW(make_jumped(mt19937_params(), 1u, 100), Error);
+}
+
+// Concurrent first-touch of the splitter's lazily grown squaring
+// chain: many threads simultaneously request indices whose high bits
+// the cache has never seen, racing chain growth against the lock-free
+// matrix-vector applies. Run under ThreadSanitizer (the CI tsan job
+// runs tier-1) this pins the growth-under-mutex / apply-lock-free
+// protocol; everywhere it also pins that racing callers still get
+// exactly the sequential answer.
+TEST(Jump, SplitterConcurrentFirstTouchIsSafeAndDeterministic) {
+  const auto p = mt521_params();
+  constexpr std::uint64_t kStride = 997;
+  // Indices chosen so every thread's first call needs a chain entry
+  // that does not exist yet (high bits up to 2^40).
+  const std::uint64_t indices[] = {1,    3,   (1ull << 17) + 5, 64,
+                                   1023, 513, (1ull << 40) + 1, 255};
+  constexpr unsigned kThreads = 8;
+
+  // Sequential reference from a fresh splitter.
+  std::vector<std::uint32_t> expected[kThreads];
+  {
+    const SubstreamSplitter ref(p, 9u, kStride);
+    for (unsigned t = 0; t < kThreads; ++t) {
+      MersenneTwister mt = ref.stream(indices[t]);
+      for (int i = 0; i < 64; ++i) expected[t].push_back(mt.next());
+    }
+  }
+
+  const SubstreamSplitter shared(p, 9u, kStride);
+  std::vector<std::thread> workers;
+  std::atomic<unsigned> mismatches{0};
+  for (unsigned t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int rep = 0; rep < 4; ++rep) {
+        MersenneTwister mt = shared.stream(indices[t]);
+        for (int i = 0; i < 64; ++i) {
+          if (mt.next() != expected[t][static_cast<std::size_t>(i)]) {
+            mismatches.fetch_add(1);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(mismatches.load(), 0u);
 }
 
 }  // namespace

@@ -202,6 +202,120 @@ TEST(ServeDeterminism, MatchesOfflineSubstreamComputation) {
   EXPECT_EQ(served.attempts, sampler.attempts());
 }
 
+TEST(ServeDeterminism, CounterBasedBitIdenticalAcrossThreadsBatchingAndOrder) {
+  // The full determinism matrix again under kCounterBased: the O(1)
+  // substream derivation must uphold the exact contract jump-ahead
+  // does — thread count, batching, and arrival order move nothing.
+  ThreadCountGuard guard;
+  const auto items = mixed_request_set();
+  std::vector<std::size_t> natural(items.size());
+  std::iota(natural.begin(), natural.end(), std::size_t{0});
+  std::vector<std::size_t> shuffled = natural;
+  std::shuffle(shuffled.begin(), shuffled.end(), std::mt19937_64(99));
+
+  serve::ServeConfig cfg;
+  cfg.server_seed = 42;
+  cfg.queue_capacity = items.size() + 1;
+  cfg.stream_strategy = rng::StreamStrategy::kCounterBased;
+
+  exec::set_thread_count(1);
+  cfg.batching = false;
+  ServedResults reference;
+  {
+    serve::SamplingServer server(cfg);
+    reference = serve_set(server, items, natural);
+  }
+
+  struct Cell {
+    unsigned threads;
+    bool batching;
+    bool shuffle;
+  };
+  const unsigned hw = exec::ExecConfig{}.resolved();
+  for (const Cell cell : {Cell{4, true, false}, Cell{4, false, true},
+                          Cell{hw, true, true}, Cell{1, true, true}}) {
+    exec::set_thread_count(cell.threads);
+    cfg.batching = cell.batching;
+    serve::SamplingServer server(cfg);
+    const ServedResults got =
+        serve_set(server, items, cell.shuffle ? shuffled : natural);
+    expect_identical(reference, got, items);
+  }
+}
+
+TEST(ServeDeterminism, CounterBasedMatchesOfflineSubstreamComputation) {
+  serve::ServeConfig cfg;
+  cfg.server_seed = 17;
+  cfg.stream_strategy = rng::StreamStrategy::kCounterBased;
+  serve::SamplingServer server(cfg);
+
+  serve::GammaRequest req;
+  req.id = 9;
+  req.alpha = 1.5f;
+  req.scale = 2.0f;
+  req.count = 500;
+  const serve::GammaResult served = server.run(req);
+
+  // Offline reproduction without a server: derive the request's Philox
+  // stream (a counter write, no master-sequence replay) and rerun.
+  rng::Philox px = server.gamma_counter_stream(req.id);
+  rng::GammaSampler sampler(rng::GammaConstants::make(req.alpha, req.scale),
+                            req.transform);
+  std::vector<float> expect(req.count);
+  sampler.sample_block(px, expect.data(), expect.size());
+  EXPECT_EQ(served.samples, expect);
+  EXPECT_EQ(served.attempts, sampler.attempts());
+}
+
+TEST(ServeDeterminism, CounterStreamSeekRecomputesAServedSuffix) {
+  // The tentpole's serve payoff: because a request's tape is a Philox
+  // counter range, any *suffix* of its uniform stream is reachable by
+  // seek() without replaying the prefix. Reproduce the served samples'
+  // uniform tape from an offset and check it matches the same stream
+  // drawn sequentially.
+  serve::ServeConfig cfg;
+  cfg.stream_strategy = rng::StreamStrategy::kCounterBased;
+  serve::SamplingServer server(cfg);
+
+  rng::Philox full = server.gamma_counter_stream(4242);
+  std::vector<std::uint32_t> tape(1000);
+  full.generate_block(tape.data(), tape.size());
+
+  rng::Philox suffix = server.gamma_counter_stream(4242);
+  suffix.skip(900);  // O(1), no matter how far in
+  for (std::size_t i = 900; i < 1000; ++i) {
+    ASSERT_EQ(suffix.next(), tape[i]) << "position " << i;
+  }
+}
+
+TEST(ServeDeterminism, CounterBasedStrategyChangesValuesNotContract) {
+  // Sanity: the two strategies are different stream families. Same id,
+  // same seed, different samples (both valid gammas).
+  serve::GammaRequest req;
+  req.id = 7;
+  req.alpha = 1.5f;
+  req.count = 64;
+
+  serve::ServeConfig cfg;
+  serve::SamplingServer jump_server(cfg);
+  cfg.stream_strategy = rng::StreamStrategy::kCounterBased;
+  serve::SamplingServer counter_server(cfg);
+  const serve::GammaResult a = jump_server.run(req);
+  const serve::GammaResult b = counter_server.run(req);
+  EXPECT_NE(a.samples, b.samples);
+}
+
+TEST(ServeDeterminism, CounterBasedDistinctIdsGetDisjointSubstreams) {
+  serve::ServeConfig cfg;
+  cfg.stream_strategy = rng::StreamStrategy::kCounterBased;
+  serve::SamplingServer server(cfg);
+  rng::Philox a = server.gamma_counter_stream(1);
+  rng::Philox b = server.gamma_counter_stream(2);
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) any_diff |= a.next() != b.next();
+  EXPECT_TRUE(any_diff);
+}
+
 TEST(ServeDeterminism, DistinctIdsGetDisjointSubstreams) {
   serve::SamplingServer server;
   // Adjacent ids start stride·substreams_per_request apart in the

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Generate the hex-double tables in src/rng/fastmath.cpp.
+
+The fastmath kernels evaluate float log/pow through double-precision
+table-driven polynomials so the scalar and SIMD paths can execute the
+exact same rounded operation sequence (see docs/PERF.md). This script
+derives every constant from first principles with 60-digit decimal
+arithmetic and prints them as hex double literals; the checked-in
+fastmath.cpp is its verbatim output, so reviewers can re-run it to
+audit the tables.
+"""
+
+from decimal import Decimal, getcontext
+from fractions import Fraction
+import struct
+
+getcontext().prec = 60
+
+LN2 = Decimal(2).ln()
+
+
+def to_double(d: Decimal) -> float:
+    return float(d)  # Decimal -> nearest double (round-half-even)
+
+
+def hexd(x: float) -> str:
+    return x.hex()
+
+
+def exact(x: float) -> Decimal:
+    f = Fraction(x)
+    return Decimal(f.numerator) / Decimal(f.denominator)
+
+
+def asfloat32(bits: int) -> float:
+    return struct.unpack("<f", struct.pack("<I", bits))[0]
+
+
+def main() -> None:
+    # --- log segment tables (16 segments over z in [0x1.66p-1, 0x1.66p0)) ---
+    OFF = 0x3F330000
+    invc, logc, log2c = [], [], []
+    for i in range(16):
+        z_lo = exact(asfloat32(OFF + i * 0x80000))
+        z_hi = exact(asfloat32(OFF + (i + 1) * 0x80000))
+        mid = (z_lo * z_hi).sqrt()
+        c = to_double(1 / mid)  # stored double reciprocal of segment center
+        # ln/log2 of the *stored* double, so table pairs are self-consistent.
+        lc = (-exact(c).ln())
+        invc.append(c)
+        logc.append(to_double(lc))
+        log2c.append(to_double(lc / LN2))
+
+    # --- exp2 fraction table: bits of double 2^(j/32) --------------------
+    exp2tab = []
+    for j in range(32):
+        v = to_double((Decimal(j) / 32 * LN2).exp())
+        exp2tab.append(struct.unpack("<Q", struct.pack("<d", v))[0])
+
+    def emit(name, vals, fmt):
+        print(f"const double k{name}[] = {{")
+        for v in vals:
+            print(f"    {fmt(v)},")
+        print("};")
+
+    emit("InvC", invc, hexd)
+    emit("LogC", logc, hexd)
+    emit("Log2C", log2c, hexd)
+    print("const std::uint64_t kExp2Tab[] = {")
+    for v in exp2tab:
+        print(f"    0x{v:016x}ull,")
+    print("};")
+
+    for name, d in [
+        ("Ln2", LN2),
+        ("InvLn2", 1 / LN2),
+        ("Ln2Div32", LN2 / 32),
+    ]:
+        print(f"k{name} = {hexd(to_double(d))}")
+    # Taylor coefficients for ln(1+r), |r| <= 0.0222 (deg 6) and e^w,
+    # |w| <= 0.0109 (deg 4): truncation < 4e-13 relative, far below the
+    # half-ulp float budget.
+    for n in range(2, 7):
+        c = to_double(Decimal((-1) ** n) / Decimal(n) * -1)
+        print(f"kP{n} = {hexd(c)}  // {'-' if n % 2 == 0 else '+'}1/{n}")
+    for n in range(2, 5):
+        import math
+
+        print(f"kQ{n} = {hexd(to_double(Decimal(1) / math.factorial(n)))}")
+
+
+if __name__ == "__main__":
+    main()
