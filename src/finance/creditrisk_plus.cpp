@@ -87,35 +87,53 @@ double LossDistribution::expected_shortfall(double p) const {
   return sum / static_cast<double>(n);
 }
 
+ScenarioAggregator::ScenarioAggregator(const Portfolio& portfolio,
+                                       std::uint64_t poisson_seed)
+    : portfolio_(&portfolio),
+      engine_(poisson_seed),
+      row_(portfolio.num_sectors()) {}
+
+void ScenarioAggregator::consume_row(const double* sector_draws) {
+  const Portfolio& p = *portfolio_;
+  double loss = 0.0;
+  for (const auto& o : p.obligors()) {
+    // λ_i = p_i · (w_0 + Σ_k w_ik S_k): the CreditRisk+ conditional
+    // Poisson intensity.
+    double factor = o.idiosyncratic_weight();
+    for (std::size_t k = 0; k < p.num_sectors(); ++k) {
+      factor += o.sector_weights[k] * sector_draws[k];
+    }
+    const double lambda = o.default_probability * factor;
+    std::poisson_distribution<unsigned> poisson(lambda);
+    loss += static_cast<double>(poisson(engine_)) * o.exposure;
+  }
+  losses_.push_back(loss);
+}
+
+void ScenarioAggregator::consume_row(const float* sector_draws) {
+  for (std::size_t k = 0; k < row_.size(); ++k) {
+    row_[k] = static_cast<double>(sector_draws[k]);
+  }
+  consume_row(row_.data());
+}
+
+LossDistribution ScenarioAggregator::finish() && {
+  return LossDistribution(std::move(losses_));
+}
+
 LossDistribution simulate_losses(const Portfolio& portfolio,
                                  const McConfig& config,
                                  const GammaSource& gamma) {
   DWI_REQUIRE(config.num_scenarios >= 2, "need at least two scenarios");
-  std::mt19937_64 default_eng(config.seed);
-
-  std::vector<double> losses;
-  losses.reserve(config.num_scenarios);
+  ScenarioAggregator agg(portfolio, config.seed);
   std::vector<double> sector_draw(portfolio.num_sectors());
-
   for (std::uint64_t s = 0; s < config.num_scenarios; ++s) {
     for (std::size_t k = 0; k < portfolio.num_sectors(); ++k) {
       sector_draw[k] = gamma(s, k);
     }
-    double loss = 0.0;
-    for (const auto& o : portfolio.obligors()) {
-      // λ_i = p_i · (w_0 + Σ_k w_ik S_k): the CreditRisk+ conditional
-      // Poisson intensity.
-      double factor = o.idiosyncratic_weight();
-      for (std::size_t k = 0; k < portfolio.num_sectors(); ++k) {
-        factor += o.sector_weights[k] * sector_draw[k];
-      }
-      const double lambda = o.default_probability * factor;
-      std::poisson_distribution<unsigned> poisson(lambda);
-      loss += static_cast<double>(poisson(default_eng)) * o.exposure;
-    }
-    losses.push_back(loss);
+    agg.consume_row(sector_draw.data());
   }
-  return LossDistribution(std::move(losses));
+  return std::move(agg).finish();
 }
 
 }  // namespace dwi::finance

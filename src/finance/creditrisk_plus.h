@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <random>
 #include <span>
 #include <vector>
 
@@ -62,5 +63,36 @@ class LossDistribution {
 LossDistribution simulate_losses(const Portfolio& portfolio,
                                  const McConfig& config,
                                  const GammaSource& gamma);
+
+/// Streaming form of the Monte-Carlo consumer: the conditional-Poisson
+/// loss accumulator of the CreditRisk+/Panjer model, fed one scenario
+/// row (all sector draws) at a time. simulate_losses is expressed on
+/// top of this, and the pipelined engines (finance/pipeline, the
+/// resident serving chain) feed it from a pipe instead of a callback —
+/// consuming rows in scenario order reproduces simulate_losses bit for
+/// bit, because the Poisson engine state advances identically.
+class ScenarioAggregator {
+ public:
+  /// `poisson_seed` is McConfig::seed.
+  ScenarioAggregator(const Portfolio& portfolio, std::uint64_t poisson_seed);
+
+  /// Consume one scenario: `sector_draws` holds num_sectors() gamma
+  /// draws. Rows must arrive in scenario order.
+  void consume_row(const double* sector_draws);
+  /// Same, over the float rows the FPGA-shaped stages emit (each draw
+  /// widened exactly as buffered_gamma_source widens a buffer entry).
+  void consume_row(const float* sector_draws);
+
+  std::uint64_t scenarios() const { return losses_.size(); }
+
+  /// Finish: sort and wrap the losses. The aggregator is spent.
+  LossDistribution finish() &&;
+
+ private:
+  const Portfolio* portfolio_;
+  std::mt19937_64 engine_;
+  std::vector<double> losses_;
+  std::vector<double> row_;  ///< widening scratch for float rows
+};
 
 }  // namespace dwi::finance

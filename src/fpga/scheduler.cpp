@@ -161,4 +161,26 @@ DependenceGraph gamma_mainloop_graph(unsigned counter_delay,
   return g;
 }
 
+DependenceGraph inter_kernel_chain_graph(
+    const std::vector<unsigned>& stage_latencies, unsigned pipe_depth) {
+  DWI_REQUIRE(!stage_latencies.empty(),
+              "inter-kernel chain: need at least one stage");
+  DWI_REQUIRE(pipe_depth >= 1, "inter-kernel chain: pipe depth must be >= 1");
+  DependenceGraph g;
+  std::vector<DependenceGraph::OpId> stages;
+  stages.reserve(stage_latencies.size());
+  for (std::size_t s = 0; s < stage_latencies.size(); ++s) {
+    stages.push_back(
+        g.add_operation("kernel" + std::to_string(s), stage_latencies[s]));
+  }
+  for (std::size_t s = 0; s + 1 < stages.size(); ++s) {
+    // Token flow through the pipe, and the FIFO capacity recurrence:
+    // the producer's (n + depth)-th token cannot be written until the
+    // consumer has read token n.
+    g.add_dependence(stages[s], stages[s + 1]);
+    g.add_dependence(stages[s + 1], stages[s], pipe_depth);
+  }
+  return g;
+}
+
 }  // namespace dwi::fpga

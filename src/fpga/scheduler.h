@@ -92,4 +92,19 @@ class DependenceGraph {
 DependenceGraph gamma_mainloop_graph(unsigned counter_delay,
                                      bool uses_marsaglia_bray);
 
+/// Build the dependence graph of an INTER-KERNEL chain: one operation
+/// per resident kernel (latency = its pipeline depth), forward
+/// dependences carrying tokens through the connecting pipes
+/// (distance 0), and for each pipe a backward dependence
+/// consumer → producer with distance = `pipe_depth` — a depth-D FIFO
+/// lets the producer run at most D tokens ahead, so its (n+D)-th write
+/// waits on the consumer's n-th read. The same modulo-scheduling
+/// machinery that derives Listing 2's delayed-counter II then derives
+/// the chain's sustainable II: RecMII ≈ ceil((lat_p + lat_c) / D) over
+/// adjacent pairs, i.e. shallow pipes between deep kernels throttle
+/// the whole chain exactly as fpga::simulate_pipeline measures
+/// (docs/PERF.md, depth tuning).
+DependenceGraph inter_kernel_chain_graph(
+    const std::vector<unsigned>& stage_latencies, unsigned pipe_depth);
+
 }  // namespace dwi::fpga

@@ -1,0 +1,186 @@
+// hls::Pipe<T>: a first-class *inter-kernel* channel, distinct from
+// hls::stream (stream.h). A stream connects two processes inside ONE
+// dataflow region and has no termination concept — both ends must agree
+// on counts out of band. A Pipe connects two *kernels* that the
+// host/scheduler keeps resident at the same time (the OpenCL 2.0 pipe /
+// Intel channel model the MKPipe and "OpenCL kernels through pipes"
+// papers build on), so it adds exactly what kernel-to-kernel streaming
+// needs and a stream lacks:
+//
+//   * close()/drained() end-of-stream semantics: the producer closes
+//     the pipe when its quota is flushed; a blocking read() returns
+//     false once the pipe is closed AND empty, so consumers terminate
+//     without knowing producer counts (the data-dependent-exit problem
+//     of the paper, moved across kernel boundaries);
+//   * non-blocking try_read()/try_write() (OpenCL's read_pipe /
+//     write_pipe reserve-free forms) for control channels that must
+//     never deadlock a kernel (e.g. backward demand/done tokens);
+//   * stall accounting: write_stalls()/read_stalls() count the blocking
+//     waits on a full/empty pipe — the host-side analogue of the
+//     fpga::PipelineSim full/empty stall cycles, used to tune depths
+//     (docs/PERF.md).
+//
+// Depth bounds occupancy like the RTL FIFO it models: writers block on
+// full (backpressure propagates upstream through the chain), readers
+// block on empty. Writes after close() are a contract violation.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "common/error.h"
+
+namespace dwi::hls {
+
+template <typename T>
+class Pipe {
+ public:
+  explicit Pipe(std::size_t depth, std::string name = {})
+      : depth_(depth), name_(std::move(name)) {
+    DWI_REQUIRE(depth >= 1, "pipe depth must be at least 1");
+  }
+
+  Pipe(const Pipe&) = delete;
+  Pipe& operator=(const Pipe&) = delete;
+
+  /// Blocking write: waits while the pipe is full. Writing to a closed
+  /// pipe is a contract violation.
+  void write(T value) {
+    std::unique_lock lock(mutex_);
+    DWI_REQUIRE(!closed_, "pipe: write after close");
+    if (queue_.size() >= depth_) {
+      ++write_stalls_;
+      not_full_.wait(lock, [&] { return queue_.size() < depth_; });
+    }
+    queue_.push_back(std::move(value));
+    peak_depth_ = std::max(peak_depth_, queue_.size());
+    ++total_writes_;
+    lock.unlock();
+    not_empty_.notify_one();
+  }
+
+  /// Blocking read: waits while the pipe is empty and not closed.
+  /// Returns true with *out set, or false when the pipe is closed and
+  /// fully drained (end of stream).
+  bool read(T* out) {
+    std::unique_lock lock(mutex_);
+    if (queue_.empty() && !closed_) {
+      ++read_stalls_;
+      not_empty_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    }
+    if (queue_.empty()) return false;  // closed and drained
+    *out = std::move(queue_.front());
+    queue_.pop_front();
+    ++total_reads_;
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking write; false when full. Same close contract as
+  /// write().
+  bool try_write(const T& value) {
+    {
+      std::lock_guard lock(mutex_);
+      DWI_REQUIRE(!closed_, "pipe: write after close");
+      if (queue_.size() >= depth_) return false;
+      queue_.push_back(value);
+      peak_depth_ = std::max(peak_depth_, queue_.size());
+      ++total_writes_;
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking read; false when currently empty (whether or not the
+  /// pipe is closed — poll drained() to distinguish end of stream).
+  bool try_read(T* out) {
+    {
+      std::lock_guard lock(mutex_);
+      if (queue_.empty()) return false;
+      *out = std::move(queue_.front());
+      queue_.pop_front();
+      ++total_reads_;
+    }
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Producer side: no more writes will arrive. Readers blocked on an
+  /// empty pipe wake up and observe end of stream. Idempotent.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+  /// End of stream: closed and nothing left to read.
+  bool drained() const {
+    std::lock_guard lock(mutex_);
+    return closed_ && queue_.empty();
+  }
+
+  bool empty() const {
+    std::lock_guard lock(mutex_);
+    return queue_.empty();
+  }
+  bool full() const {
+    std::lock_guard lock(mutex_);
+    return queue_.size() >= depth_;
+  }
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return queue_.size();
+  }
+  std::size_t depth() const { return depth_; }
+  const std::string& name() const { return name_; }
+
+  // --- occupancy / stall statistics (depth tuning, docs/PERF.md) ----------
+  std::size_t peak_depth() const {
+    std::lock_guard lock(mutex_);
+    return peak_depth_;
+  }
+  std::uint64_t total_writes() const {
+    std::lock_guard lock(mutex_);
+    return total_writes_;
+  }
+  std::uint64_t total_reads() const {
+    std::lock_guard lock(mutex_);
+    return total_reads_;
+  }
+  /// Number of write() calls that had to block on a full pipe.
+  std::uint64_t write_stalls() const {
+    std::lock_guard lock(mutex_);
+    return write_stalls_;
+  }
+  /// Number of read() calls that had to block on an empty pipe.
+  std::uint64_t read_stalls() const {
+    std::lock_guard lock(mutex_);
+    return read_stalls_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> queue_;
+  std::size_t depth_;
+  bool closed_ = false;
+  std::size_t peak_depth_ = 0;
+  std::uint64_t total_writes_ = 0;
+  std::uint64_t total_reads_ = 0;
+  std::uint64_t write_stalls_ = 0;
+  std::uint64_t read_stalls_ = 0;
+  std::string name_;
+};
+
+}  // namespace dwi::hls

@@ -31,6 +31,49 @@ LatencySummary summarize_latencies(std::vector<double> seconds) {
   return s;
 }
 
+LatencyReservoir::LatencyReservoir(std::size_t capacity)
+    : capacity_(capacity),
+      // Fixed seed: reservoir contents are a deterministic function of
+      // the record() sequence, so tests and repeated runs agree.
+      rng_state_(0x853c49e6748fea9bull) {
+  DWI_REQUIRE(capacity_ >= 1, "latency reservoir needs capacity >= 1");
+  samples_.reserve(capacity_);
+}
+
+void LatencyReservoir::record(double seconds) {
+  if (seen_ == 0 || seconds < min_seconds_) min_seconds_ = seconds;
+  if (seen_ == 0 || seconds > max_seconds_) max_seconds_ = seconds;
+  sum_seconds_ += seconds;
+  ++seen_;
+  if (samples_.size() < capacity_) {
+    samples_.push_back(seconds);
+    return;
+  }
+  // Algorithm R: keep the new sample with probability capacity/seen by
+  // drawing a uniform slot in [0, seen); splitmix64 output drives the
+  // draw.
+  rng_state_ += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = rng_state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  const std::uint64_t slot = z % seen_;
+  if (slot < capacity_) samples_[slot] = seconds;
+}
+
+LatencySummary LatencyReservoir::summarize() const {
+  LatencySummary s = summarize_latencies(samples_);
+  // Overwrite the whole-stream statistics with their exact values;
+  // only the percentiles stay reservoir-estimated.
+  s.count = seen_;
+  if (seen_ > 0) {
+    s.min_seconds = min_seconds_;
+    s.max_seconds = max_seconds_;
+    s.mean_seconds = sum_seconds_ / static_cast<double>(seen_);
+  }
+  return s;
+}
+
 void ServerMetrics::record_submitted() {
   std::lock_guard lock(mutex_);
   ++submitted_;
@@ -62,17 +105,24 @@ void ServerMetrics::record_batch(std::size_t occupancy) {
 void ServerMetrics::record_completed(double latency_seconds) {
   std::lock_guard lock(mutex_);
   ++completed_;
-  latencies_.push_back(latency_seconds);
+  latencies_.record(latency_seconds);
 }
 
 void ServerMetrics::record_failed(double latency_seconds) {
   std::lock_guard lock(mutex_);
   ++failed_;
-  latencies_.push_back(latency_seconds);
+  latencies_.record(latency_seconds);
+}
+
+std::size_t ServerMetrics::latency_samples_stored() const {
+  std::lock_guard lock(mutex_);
+  return latencies_.stored();
 }
 
 MetricsSnapshot ServerMetrics::snapshot() const {
-  std::vector<double> latencies;
+  // The reservoir copy under the lock is bounded by its capacity; the
+  // O(n log n) percentile sort happens outside the critical section.
+  LatencyReservoir latencies;
   MetricsSnapshot s;
   {
     std::lock_guard lock(mutex_);
@@ -92,7 +142,7 @@ MetricsSnapshot ServerMetrics::snapshot() const {
                             static_cast<double>(batches_);
     latencies = latencies_;
   }
-  s.latency = summarize_latencies(std::move(latencies));
+  s.latency = latencies.summarize();
   return s;
 }
 

@@ -29,12 +29,50 @@ struct LatencySummary {
   double p99_seconds = 0.0;
 };
 
+/// Bounded uniform sample of a latency stream (Vitter's Algorithm R
+/// with a deterministic splitmix64 replacement draw) plus EXACT
+/// count/min/max/sum over everything ever recorded. Keeps the metrics
+/// mutex hold time and memory bounded no matter how many requests the
+/// server has served: record() is O(1), and a snapshot copies at most
+/// `capacity` samples — the old recorder kept every latency forever
+/// and copied the whole history under the lock on every snapshot().
+/// Percentiles become estimates once count exceeds capacity;
+/// count/min/max/mean stay exact.
+class LatencyReservoir {
+ public:
+  explicit LatencyReservoir(std::size_t capacity = kDefaultCapacity);
+
+  void record(double seconds);
+
+  std::uint64_t count() const { return seen_; }
+  std::size_t stored() const { return samples_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Summary with exact count/min/max/mean and reservoir-estimated
+  /// percentiles. Copies at most capacity() samples.
+  LatencySummary summarize() const;
+
+  static constexpr std::size_t kDefaultCapacity = 8192;
+
+ private:
+  std::size_t capacity_;
+  std::vector<double> samples_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t rng_state_;
+  double min_seconds_ = 0.0;
+  double max_seconds_ = 0.0;
+  double sum_seconds_ = 0.0;
+};
+
 /// Nearest-rank summary of `seconds` (consumed; empty input yields an
 /// all-zero summary).
 LatencySummary summarize_latencies(std::vector<double> seconds);
 
 /// Point-in-time copy of every metric the server tracks. The latency
-/// summary covers *completed* requests, admission→completion.
+/// summary covers *completed* requests, admission→completion;
+/// percentiles are reservoir estimates once more requests have
+/// finished than LatencyReservoir::kDefaultCapacity (count, min, max
+/// and mean remain exact).
 struct MetricsSnapshot {
   std::uint64_t submitted = 0;          ///< all submission attempts
   std::uint64_t admitted = 0;
@@ -62,6 +100,11 @@ class ServerMetrics {
 
   MetricsSnapshot snapshot() const;
 
+  /// Latencies currently held by the reservoir (bounded by
+  /// LatencyReservoir::kDefaultCapacity; the regression test pins
+  /// this).
+  std::size_t latency_samples_stored() const;
+
  private:
   mutable std::mutex mutex_;
   std::uint64_t submitted_ = 0;
@@ -75,7 +118,7 @@ class ServerMetrics {
   std::uint64_t batches_ = 0;
   std::size_t max_batch_occupancy_ = 0;
   std::uint64_t batched_requests_ = 0;
-  std::vector<double> latencies_;
+  LatencyReservoir latencies_;
 };
 
 }  // namespace dwi::serve

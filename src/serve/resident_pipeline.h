@@ -1,0 +1,101 @@
+// Resident CreditRisk+ serving pipeline: the serve-path fusion of the
+// inter-kernel pipe work (hls/pipe.h, finance/pipeline).
+//
+// The classic path treats every CreditRisk+ request as one kernel
+// launch: BatchScheduler dispatches a closure to the exec pool, which
+// samples all sector draws and then aggregates them, request by
+// request. The resident path instead keeps TWO kernels permanently
+// running — a sector-sampler and a conditional-Poisson aggregator —
+// connected by bounded pipes:
+//
+//   admission ─Pipe<Job>→ sampler ─Pipe<Job>──────→ aggregator
+//                                 └Pipe<RowBlock>─↗
+//
+// Requests stream in, scenario rows stream across, results stream out;
+// no per-request thread launches, and aggregation of a request's early
+// scenarios overlaps sampling of its later ones (and of the next
+// request's) — the paper's decoupling, applied between serving stages.
+//
+// Determinism (pinned by tests/test_serve.cpp): the resident path
+// reproduces the classic path BYTE FOR BYTE. It derives the same
+// per-sector substreams from (server_seed, id) through the server's
+// public stream accessors, consumes them in the same scenario-major,
+// sector-minor order, and feeds the same rows in the same order to a
+// ScenarioAggregator seeded with the same Poisson seed — so every
+// CreditRiskResult field is bit-identical whether `resident` is on or
+// off, for every row-block size and pipe depth.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "hls/pipe.h"
+#include "serve/request.h"
+
+namespace dwi::serve {
+
+class SamplingServer;
+class ServerMetrics;
+
+class ResidentPipeline {
+ public:
+  /// `server` must outlive the pipeline (it is a member of the server;
+  /// the server destroys it first).
+  ResidentPipeline(const SamplingServer& server, ServerMetrics* metrics,
+                   std::size_t queue_capacity, std::size_t pipe_depth,
+                   std::size_t row_block);
+  ~ResidentPipeline();
+
+  ResidentPipeline(const ResidentPipeline&) = delete;
+  ResidentPipeline& operator=(const ResidentPipeline&) = delete;
+
+  /// Non-blocking admission into the resident chain. The request must
+  /// already be validated.
+  ServeStatus try_enqueue(const CreditRiskRequest& req,
+                          std::future<CreditRiskResult>* out);
+
+  /// Stop admitting, drain every admitted request, join the resident
+  /// kernels. Idempotent.
+  void shutdown();
+
+  /// Admission-queue occupancy (for the queue high-water metric).
+  std::size_t queue_depth() const { return admission_.size(); }
+
+ private:
+  struct Job {
+    CreditRiskRequest req;
+    std::shared_ptr<std::promise<CreditRiskResult>> promise;
+    std::chrono::steady_clock::time_point admitted_at;
+  };
+  /// A block of consecutive scenario rows (rows x num_sectors,
+  /// scenario-major) for the job most recently handed to the
+  /// aggregator. One sampler and FIFO pipes keep blocks in job order.
+  struct RowBlock {
+    std::size_t rows = 0;
+    std::vector<double> data;
+  };
+
+  void sampler_loop();
+  void aggregator_loop();
+
+  const SamplingServer* server_;
+  ServerMetrics* metrics_;
+  std::size_t row_block_;
+
+  hls::Pipe<Job> admission_;
+  hls::Pipe<Job> handoff_;   ///< sampler → aggregator job metadata
+  hls::Pipe<RowBlock> rows_; ///< sampler → aggregator scenario rows
+
+  std::mutex submit_mutex_;  ///< serializes try_enqueue vs close()
+  bool accepting_ = true;
+
+  std::thread sampler_;
+  std::thread aggregator_;
+};
+
+}  // namespace dwi::serve

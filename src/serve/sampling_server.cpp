@@ -47,11 +47,19 @@ SamplingServer::SamplingServer(ServeConfig cfg)
   sched.max_batch = cfg_.max_batch;
   sched.batching = cfg_.batching;
   scheduler_ = std::make_unique<BatchScheduler>(sched, &metrics_);
+  if (cfg_.resident) {
+    resident_ = std::make_unique<ResidentPipeline>(
+        *this, &metrics_, cfg_.queue_capacity, cfg_.resident_pipe_depth,
+        cfg_.resident_row_block);
+  }
 }
 
 SamplingServer::~SamplingServer() { shutdown(); }
 
-void SamplingServer::shutdown() { scheduler_->shutdown(); }
+void SamplingServer::shutdown() {
+  if (resident_) resident_->shutdown();
+  scheduler_->shutdown();
+}
 
 rng::MersenneTwister SamplingServer::gamma_stream(RequestId id) const {
   return splitter_.stream(id * cfg_.substreams_per_request);
@@ -231,6 +239,24 @@ ServeStatus SamplingServer::try_submit(const GammaRequest& req,
 ServeStatus SamplingServer::try_submit(const CreditRiskRequest& req,
                                        std::future<CreditRiskResult>* out) {
   DWI_ASSERT(out != nullptr);
+  if (resident_) {
+    // Resident chain: validated here, admitted straight onto the
+    // pipeline's bounded admission pipe (same metrics protocol as the
+    // scheduler path; completion is recorded by the aggregator kernel).
+    metrics_.record_submitted();
+    const ServeStatus valid = validate(req);
+    if (valid != ServeStatus::kAdmitted) {
+      metrics_.record_rejected(valid);
+      return valid;
+    }
+    const ServeStatus status = resident_->try_enqueue(req, out);
+    if (status != ServeStatus::kAdmitted) {
+      metrics_.record_rejected(status);
+      return status;
+    }
+    metrics_.record_admitted(resident_->queue_depth());
+    return ServeStatus::kAdmitted;
+  }
   return submit_impl<CreditRiskRequest, CreditRiskResult>(
       RequestKind::kCreditRisk, req, out);
 }

@@ -39,6 +39,7 @@
 #include "serve/batch_scheduler.h"
 #include "serve/metrics.h"
 #include "serve/request.h"
+#include "serve/resident_pipeline.h"
 
 namespace dwi::serve {
 
@@ -84,6 +85,22 @@ struct ServeConfig {
   /// kDistinctSeeds is not accepted: a serving layer must make
   /// cross-request stream overlap impossible, not merely improbable.
   rng::StreamStrategy stream_strategy = rng::StreamStrategy::kJumpAhead;
+
+  /// Resident CreditRisk+ pipeline (serve/resident_pipeline.h): route
+  /// CreditRisk+ requests to two permanently resident kernels
+  /// (sampler → aggregator over hls::Pipe) instead of per-request
+  /// dispatch through the BatchScheduler. Responses are byte-identical
+  /// either way (the resident path derives the same substreams and
+  /// consumes them in the same order); what changes is execution shape
+  /// — no per-request launches, and aggregation overlaps sampling.
+  /// Gamma requests always use the classic scheduler. Default off so
+  /// the classic path's scheduling metrics and baselines are
+  /// undisturbed.
+  bool resident = false;
+  /// Scenario rows per block on the resident sampler→aggregator pipe.
+  std::size_t resident_row_block = 64;
+  /// Depth of the resident handoff and row pipes.
+  std::size_t resident_pipe_depth = 8;
 };
 
 class SamplingServer {
@@ -147,7 +164,10 @@ class SamplingServer {
   rng::SubstreamSplitter splitter_;      ///< kJumpAhead derivation
   rng::CounterSubstreams counter_streams_;  ///< kCounterBased derivation
   ServerMetrics metrics_;
-  std::unique_ptr<BatchScheduler> scheduler_;  ///< last member: drains first
+  std::unique_ptr<BatchScheduler> scheduler_;
+  /// Resident CreditRisk+ chain (cfg_.resident); declared after the
+  /// scheduler so it drains first on destruction.
+  std::unique_ptr<ResidentPipeline> resident_;
 };
 
 }  // namespace dwi::serve

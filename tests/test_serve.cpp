@@ -637,5 +637,196 @@ TEST(ServeSpscRingBuffer, DestructionReleasesEnqueuedItems) {
   EXPECT_TRUE(leaked.expired());
 }
 
+// ---------------------------------------------------------------------
+// Resident CreditRisk+ pipeline (serve/resident_pipeline.h)
+// ---------------------------------------------------------------------
+
+std::vector<serve::CreditRiskResult> serve_credit_batch(
+    const serve::ServeConfig& cfg, std::size_t n,
+    std::uint64_t num_scenarios) {
+  serve::SamplingServer server(cfg);
+  std::vector<std::future<serve::CreditRiskResult>> futures;
+  futures.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    serve::CreditRiskRequest req;
+    req.id = 100 + i;
+    req.portfolio = test_portfolio();
+    req.num_scenarios = num_scenarios;
+    futures.push_back(server.submit(req));
+  }
+  std::vector<serve::CreditRiskResult> out;
+  out.reserve(n);
+  for (auto& f : futures) out.push_back(f.get());
+  return out;
+}
+
+void expect_credit_identical(const std::vector<serve::CreditRiskResult>& a,
+                             const std::vector<serve::CreditRiskResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].id, b[i].id);
+    ASSERT_EQ(a[i].scenarios, b[i].scenarios);
+    // Bit-identity: exact double comparison on purpose.
+    ASSERT_EQ(a[i].mean, b[i].mean) << "request " << i;
+    ASSERT_EQ(a[i].variance, b[i].variance);
+    ASSERT_EQ(a[i].var95, b[i].var95);
+    ASSERT_EQ(a[i].var999, b[i].var999);
+    ASSERT_EQ(a[i].es999, b[i].es999);
+  }
+}
+
+TEST(ServeResident, ByteIdenticalToClassicAcrossStrategies) {
+  for (const auto strategy : {rng::StreamStrategy::kJumpAhead,
+                              rng::StreamStrategy::kCounterBased}) {
+    serve::ServeConfig cfg;
+    cfg.server_seed = 23;
+    cfg.stream_strategy = strategy;
+    const auto classic = serve_credit_batch(cfg, 6, 128);
+    cfg.resident = true;
+    const auto resident = serve_credit_batch(cfg, 6, 128);
+    expect_credit_identical(classic, resident);
+  }
+}
+
+TEST(ServeResident, RowBlockAndPipeDepthCannotMoveBits) {
+  serve::ServeConfig cfg;
+  cfg.server_seed = 31;
+  cfg.resident = true;
+  cfg.resident_row_block = 64;
+  cfg.resident_pipe_depth = 8;
+  const auto base = serve_credit_batch(cfg, 4, 150);
+  for (const std::size_t row_block : {std::size_t{1}, std::size_t{7}}) {
+    for (const std::size_t depth : {std::size_t{1}, std::size_t{16}}) {
+      cfg.resident_row_block = row_block;
+      cfg.resident_pipe_depth = depth;
+      expect_credit_identical(base, serve_credit_batch(cfg, 4, 150));
+    }
+  }
+}
+
+TEST(ServeResident, GammaRequestsStillUseTheClassicScheduler) {
+  // The resident chain serves CreditRisk+ only; gamma batches keep
+  // their scheduler path and their results.
+  serve::GammaRequest req;
+  req.id = 9;
+  req.alpha = 0.72f;
+  req.scale = 1.39f;
+  req.count = 200;
+  serve::ServeConfig cfg;
+  serve::SamplingServer classic(cfg);
+  const serve::GammaResult a = classic.run(req);
+  cfg.resident = true;
+  serve::SamplingServer resident(cfg);
+  const serve::GammaResult b = resident.run(req);
+  ASSERT_EQ(a.samples, b.samples);
+  EXPECT_EQ(a.attempts, b.attempts);
+}
+
+TEST(ServeResident, ShutdownDrainsAdmittedWorkAndRejectsLate) {
+  serve::ServeConfig cfg;
+  cfg.resident = true;
+  serve::SamplingServer server(cfg);
+  serve::CreditRiskRequest req;
+  req.id = 1;
+  req.portfolio = test_portfolio();
+  req.num_scenarios = 400;
+  std::future<serve::CreditRiskResult> f;
+  ASSERT_EQ(server.try_submit(req, &f), serve::ServeStatus::kAdmitted);
+  server.shutdown();
+  // Admitted before shutdown → fulfilled.
+  EXPECT_EQ(f.get().scenarios, 400u);
+  // Late submission → typed rejection, no future.
+  std::future<serve::CreditRiskResult> late;
+  EXPECT_EQ(server.try_submit(req, &late),
+            serve::ServeStatus::kShuttingDown);
+  const serve::MetricsSnapshot m = server.metrics();
+  EXPECT_EQ(m.completed, 1u);
+  EXPECT_EQ(m.rejected_shutdown, 1u);
+}
+
+TEST(ServeResident, InvalidRequestsRejectWithoutAdmission) {
+  serve::ServeConfig cfg;
+  cfg.resident = true;
+  serve::SamplingServer server(cfg);
+  serve::CreditRiskRequest req;
+  req.id = 1;
+  req.portfolio = test_portfolio();
+  req.num_scenarios = 1;  // below the minimum
+  std::future<serve::CreditRiskResult> f;
+  EXPECT_EQ(server.try_submit(req, &f),
+            serve::ServeStatus::kInvalidRequest);
+  const serve::MetricsSnapshot m = server.metrics();
+  EXPECT_EQ(m.admitted, 0u);
+  EXPECT_EQ(m.rejected_invalid, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Latency reservoir (bounded-memory metrics)
+// ---------------------------------------------------------------------
+
+TEST(ServeMetrics, ReservoirIsExactBelowCapacity) {
+  serve::LatencyReservoir r(128);
+  for (int i = 1; i <= 100; ++i) r.record(static_cast<double>(i));
+  EXPECT_EQ(r.count(), 100u);
+  EXPECT_EQ(r.stored(), 100u);
+  const serve::LatencySummary s = r.summarize();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.min_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(s.max_seconds, 100.0);
+  EXPECT_DOUBLE_EQ(s.mean_seconds, 50.5);
+  EXPECT_DOUBLE_EQ(s.p50_seconds, 50.0);  // matches the exact recorder
+}
+
+TEST(ServeMetrics, ReservoirBoundsStorageAndKeepsExactAggregates) {
+  constexpr std::size_t kCap = 64;
+  serve::LatencyReservoir r(kCap);
+  constexpr int kN = 10'000;
+  for (int i = 1; i <= kN; ++i) r.record(static_cast<double>(i));
+  EXPECT_EQ(r.count(), static_cast<std::uint64_t>(kN));
+  EXPECT_EQ(r.stored(), kCap);  // the regression: storage stays bounded
+  const serve::LatencySummary s = r.summarize();
+  EXPECT_EQ(s.count, static_cast<std::size_t>(kN));
+  EXPECT_DOUBLE_EQ(s.min_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(s.max_seconds, static_cast<double>(kN));
+  EXPECT_DOUBLE_EQ(s.mean_seconds, (1.0 + kN) / 2.0);
+  // Percentile estimates from a uniform 1..N stream land near their
+  // exact ranks (loose band: 64 samples).
+  EXPECT_NEAR(s.p50_seconds / (0.50 * kN), 1.0, 0.35);
+  EXPECT_GE(s.p99_seconds, s.p50_seconds);
+}
+
+TEST(ServeMetrics, ReservoirIsDeterministic) {
+  serve::LatencyReservoir a(32), b(32);
+  for (int i = 0; i < 5'000; ++i) {
+    const double v = static_cast<double>((i * 2654435761u) % 1000);
+    a.record(v);
+    b.record(v);
+  }
+  const serve::LatencySummary sa = a.summarize();
+  const serve::LatencySummary sb = b.summarize();
+  EXPECT_DOUBLE_EQ(sa.p50_seconds, sb.p50_seconds);
+  EXPECT_DOUBLE_EQ(sa.p95_seconds, sb.p95_seconds);
+  EXPECT_DOUBLE_EQ(sa.p99_seconds, sb.p99_seconds);
+}
+
+TEST(ServeMetrics, RecorderStorageStaysBoundedUnderLoad) {
+  // Regression for the unbounded-latency-vector bug: the recorder's
+  // stored sample count can never exceed the reservoir capacity while
+  // the completion count keeps growing, and snapshot() keeps working.
+  serve::ServerMetrics metrics;
+  const std::size_t n = serve::LatencyReservoir::kDefaultCapacity + 5'000;
+  for (std::size_t i = 0; i < n; ++i) {
+    metrics.record_completed(1e-6 * static_cast<double>(i + 1));
+  }
+  EXPECT_EQ(metrics.latency_samples_stored(),
+            serve::LatencyReservoir::kDefaultCapacity);
+  const serve::MetricsSnapshot m = metrics.snapshot();
+  EXPECT_EQ(m.completed, n);
+  EXPECT_EQ(m.latency.count, n);  // exact even though storage is bounded
+  EXPECT_DOUBLE_EQ(m.latency.min_seconds, 1e-6);
+  EXPECT_DOUBLE_EQ(m.latency.max_seconds, 1e-6 * static_cast<double>(n));
+  EXPECT_GT(m.latency.p99_seconds, 0.0);
+}
+
 }  // namespace
 }  // namespace dwi
