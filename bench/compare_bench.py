@@ -6,7 +6,9 @@ table3_runtime / fig5_worksizes, compare the fresh JSON artifact to
 bench/baselines/<name>.json and fail (exit 1) when a matching sweep
 entry's wall time regressed more than --max-regression (default 25%).
 
-Matching: sweep entries are keyed by their "threads" field. Three
+Matching: sweep entries are keyed by their "threads" field (or
+"shards" for cluster-scaling benches whose sweep axis is the shard
+count). Three
 metrics are compared when present on both sides: "wall_seconds" and
 "latency_p99_seconds" (lower is better, fail when the fresh value
 exceeds baseline by more than --max-regression) and "throughput_rps"
@@ -41,12 +43,15 @@ def load(path):
         return json.load(f)
 
 
-def sweep_by_threads(doc):
+def sweep_by_key(doc):
+    """Index sweep entries by their axis: "threads", else "shards"."""
     out = {}
     for entry in doc.get("sweep", []):
-        key = entry.get("threads")
-        if key is not None:
-            out[key] = entry
+        for axis in ("threads", "shards"):
+            key = entry.get(axis)
+            if key is not None:
+                out[(axis, key)] = entry
+                break
     return out
 
 
@@ -92,8 +97,8 @@ def main():
                         f"{base.get('seed')!r} vs fresh {fresh.get('seed')!r}")
     walk_flags(fresh, "", failures, bench)
 
-    bsweep = sweep_by_threads(base)
-    fsweep = sweep_by_threads(fresh)
+    bsweep = sweep_by_key(base)
+    fsweep = sweep_by_key(fresh)
 
     # (metric, lower_is_better): wall time and tail latency regress
     # upward, throughput regresses downward.
@@ -102,10 +107,10 @@ def main():
                ("throughput_rps", False)]
 
     compared = 0
-    for threads, bentry in sorted(bsweep.items()):
-        fentry = fsweep.get(threads)
+    for (axis, key), bentry in sorted(bsweep.items()):
+        fentry = fsweep.get((axis, key))
         if fentry is None:
-            print(f"note: baseline threads={threads} missing from fresh run")
+            print(f"note: baseline {axis}={key} missing from fresh run")
             continue
         for metric, lower_is_better in metrics:
             bs = bentry.get(metric)
@@ -123,11 +128,11 @@ def main():
                 status = "REGRESSION"
                 direction = "above" if lower_is_better else "below"
                 failures.append(
-                    f"{bench}: sweep threads={threads}: field '{metric}' "
+                    f"{bench}: sweep {axis}={key}: field '{metric}' "
                     f"breached the {args.max_regression:.0%} margin "
                     f"({direction} baseline): fresh {fs:.4g} vs baseline "
                     f"{bs:.4g} ({ratio:.2f}x, limit {limit:.2f}x)")
-            print(f"threads={threads}: {metric} {fs:.4g} vs {bs:.4g} "
+            print(f"{axis}={key}: {metric} {fs:.4g} vs {bs:.4g} "
                   f"baseline ({ratio:.2f}x) {status}")
 
     if compared == 0:

@@ -68,6 +68,28 @@ class LatencyReservoir {
 /// all-zero summary).
 LatencySummary summarize_latencies(std::vector<double> seconds);
 
+/// Blocking-stall counters of the resident pipeline's three pipes
+/// (serve/resident_pipeline.h): how many write()/read() calls had to
+/// block on a full/empty pipe since the server started. Monotone
+/// non-decreasing over a server's lifetime and all-zero when the
+/// resident mode is off — the serve-level mirror of the
+/// fpga::PipelineSim full/empty stall cycles, used to tune
+/// resident_pipe_depth / resident_row_block (docs/PERF.md).
+struct PipeStallCounters {
+  std::uint64_t admission_write_stalls = 0;
+  std::uint64_t admission_read_stalls = 0;
+  std::uint64_t handoff_write_stalls = 0;
+  std::uint64_t handoff_read_stalls = 0;
+  std::uint64_t rows_write_stalls = 0;
+  std::uint64_t rows_read_stalls = 0;
+
+  std::uint64_t total() const {
+    return admission_write_stalls + admission_read_stalls +
+           handoff_write_stalls + handoff_read_stalls + rows_write_stalls +
+           rows_read_stalls;
+  }
+};
+
 /// Point-in-time copy of every metric the server tracks. The latency
 /// summary covers *completed* requests, admission→completion;
 /// percentiles are reservoir estimates once more requests have
@@ -86,6 +108,10 @@ struct MetricsSnapshot {
   std::size_t max_batch_occupancy = 0;
   double mean_batch_occupancy = 0.0;    ///< requests per batch
   LatencySummary latency;
+  /// Resident-pipeline pipe stalls; all-zero (and `resident` false)
+  /// when the server runs the classic scheduler path only.
+  bool resident = false;
+  PipeStallCounters resident_pipes;
 };
 
 class ServerMetrics {

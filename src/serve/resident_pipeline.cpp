@@ -51,6 +51,17 @@ void ResidentPipeline::shutdown() {
   aggregator_.join();
 }
 
+PipeStallCounters ResidentPipeline::pipe_stalls() const {
+  PipeStallCounters s;
+  s.admission_write_stalls = admission_.write_stalls();
+  s.admission_read_stalls = admission_.read_stalls();
+  s.handoff_write_stalls = handoff_.write_stalls();
+  s.handoff_read_stalls = handoff_.read_stalls();
+  s.rows_write_stalls = rows_.write_stalls();
+  s.rows_read_stalls = rows_.read_stalls();
+  return s;
+}
+
 ServeStatus ResidentPipeline::try_enqueue(const CreditRiskRequest& req,
                                           std::future<CreditRiskResult>* out) {
   Job job;

@@ -35,12 +35,12 @@
 #include <vector>
 
 #include "hls/pipe.h"
+#include "serve/metrics.h"
 #include "serve/request.h"
 
 namespace dwi::serve {
 
 class SamplingServer;
-class ServerMetrics;
 
 class ResidentPipeline {
  public:
@@ -65,6 +65,10 @@ class ResidentPipeline {
 
   /// Admission-queue occupancy (for the queue high-water metric).
   std::size_t queue_depth() const { return admission_.size(); }
+
+  /// Current blocking-stall counts of the three pipes; merged into the
+  /// server's MetricsSnapshot. Monotone over the pipeline's lifetime.
+  PipeStallCounters pipe_stalls() const;
 
  private:
   struct Job {

@@ -61,6 +61,21 @@ void SamplingServer::shutdown() {
   scheduler_->shutdown();
 }
 
+MetricsSnapshot SamplingServer::metrics() const {
+  MetricsSnapshot s = metrics_.snapshot();
+  if (resident_) {
+    s.resident = true;
+    s.resident_pipes = resident_->pipe_stalls();
+  }
+  return s;
+}
+
+std::size_t SamplingServer::queue_depth() const {
+  std::size_t depth = scheduler_->queue_depth();
+  if (resident_) depth += resident_->queue_depth();
+  return depth;
+}
+
 rng::MersenneTwister SamplingServer::gamma_stream(RequestId id) const {
   return splitter_.stream(id * cfg_.substreams_per_request);
 }

@@ -131,8 +131,16 @@ class SamplingServer {
   /// accepted future. Idempotent.
   void shutdown();
 
-  MetricsSnapshot metrics() const { return metrics_.snapshot(); }
+  /// Snapshot of the server's counters and latency summary; in
+  /// resident mode the snapshot also carries the pipeline's pipe
+  /// stall counters (zero otherwise).
+  MetricsSnapshot metrics() const;
   const ServeConfig& config() const { return cfg_; }
+
+  /// Current admission occupancy (scheduler FIFO plus, in resident
+  /// mode, the resident admission pipe). The cluster router's
+  /// least-loaded placement reads this.
+  std::size_t queue_depth() const;
 
   /// The substream a gamma request with this id draws from (exposed so
   /// tests and offline pipelines can reproduce server results without
