@@ -44,15 +44,48 @@ def load(path):
 
 
 def sweep_by_key(doc):
-    """Index sweep entries by their axis: "threads", else "shards"."""
+    """Index sweep entries by their axis: "threads", "shards", or
+    "workload" (the autotuner bench sweeps workloads, not threads)."""
     out = {}
     for entry in doc.get("sweep", []):
-        for axis in ("threads", "shards"):
+        for axis in ("threads", "shards", "workload"):
             key = entry.get(axis)
             if key is not None:
                 out[(axis, key)] = entry
                 break
     return out
+
+
+def offending_config(entry):
+    """The tuned config blamed in a tuner failure message, if present."""
+    chosen = entry.get("chosen_config")
+    return f" (offending config: {chosen})" if chosen else ""
+
+
+def tuner_checks(fresh, failures, bench):
+    """Extra gates of the "tuner" bench kind (bench/autotune): the
+    tuned config must beat the default and must fit the modeled
+    device's resource budget. Both failures print the offending config
+    so the red CI line identifies the bad point without opening the
+    artifact."""
+    if fresh.get("kind") != "tuner":
+        return
+    for entry in fresh.get("sweep", []):
+        workload = entry.get("workload", "<unknown workload>")
+        if entry.get("feasible") is False:
+            failures.append(
+                f"{bench}: workload={workload}: tuned config exceeds the "
+                f"modeled resource budget{offending_config(entry)}")
+    if fresh.get("tuned_beats_default") is False:
+        losers = [e for e in fresh.get("sweep", [])
+                  if e.get("modeled_speedup", 0) < fresh.get(
+                      "speedup_threshold", 1.15)]
+        detail = "; ".join(
+            f"{e.get('workload')}: {e.get('modeled_speedup', 0):.3f}x"
+            f"{offending_config(e)}" for e in losers) or "no sweep entries"
+        failures.append(
+            f"{bench}: tuned configs did not beat the defaults on enough "
+            f"workload categories: {detail}")
 
 
 def walk_flags(node, path, failures, bench):
@@ -96,15 +129,17 @@ def main():
         failures.append(f"{bench}: field 'seed' mismatch: baseline "
                         f"{base.get('seed')!r} vs fresh {fresh.get('seed')!r}")
     walk_flags(fresh, "", failures, bench)
+    tuner_checks(fresh, failures, bench)
 
     bsweep = sweep_by_key(base)
     fsweep = sweep_by_key(fresh)
 
     # (metric, lower_is_better): wall time and tail latency regress
-    # upward, throughput regresses downward.
+    # upward, throughput and tuner speedups regress downward.
     metrics = [("wall_seconds", True),
                ("latency_p99_seconds", True),
-               ("throughput_rps", False)]
+               ("throughput_rps", False),
+               ("modeled_speedup", False)]
 
     compared = 0
     for (axis, key), bentry in sorted(bsweep.items()):
@@ -131,7 +166,8 @@ def main():
                     f"{bench}: sweep {axis}={key}: field '{metric}' "
                     f"breached the {args.max_regression:.0%} margin "
                     f"({direction} baseline): fresh {fs:.4g} vs baseline "
-                    f"{bs:.4g} ({ratio:.2f}x, limit {limit:.2f}x)")
+                    f"{bs:.4g} ({ratio:.2f}x, limit {limit:.2f}x)"
+                    f"{offending_config(fentry)}")
             print(f"{axis}={key}: {metric} {fs:.4g} vs {bs:.4g} "
                   f"baseline ({ratio:.2f}x) {status}")
 

@@ -158,6 +158,58 @@ UtilizationReport estimate_utilization(const DeviceSpec& dev,
                     work_items);
 }
 
+BlockResources stream_fifo_extra(std::size_t stream_depth) {
+  // The calibrated stream_fifo() is one BRAM36 (4.5 KB), which covers
+  // a 32-bit FIFO up to 1152 entries — comfortably past the default
+  // depth 64. Deeper FIFOs add whole BRAM36s plus a little wider
+  // read/write pointer logic per extra address bit.
+  constexpr std::size_t kDefaultDepth = 64;
+  constexpr std::size_t kEntriesPerBram = 4608 / 4;  // 36 Kb / 32-bit words
+  BlockResources extra;
+  if (stream_depth <= kDefaultDepth) return extra;
+  const std::uint32_t brams = static_cast<std::uint32_t>(
+      (stream_depth + kEntriesPerBram - 1) / kEntriesPerBram);
+  extra.bram36 = brams > 1 ? brams - 1 : 0;
+  for (std::size_t d = kDefaultDepth; d < stream_depth; d *= 2) {
+    extra.luts += 8;  // one more pointer/occupancy-counter bit
+    extra.ffs += 12;
+  }
+  return extra;
+}
+
+BlockResources transfer_unit_extra(unsigned burst_beats) {
+  // transfer_unit()'s two BRAM36s hold the calibrated double buffer
+  // (2 × LTRANSF × 512-bit with LTRANSF ≤ 18, ≈ 2.3 KB) alongside the
+  // packer; a longer burst grows the double buffer by 128 bytes per
+  // beat and the burst-length FSM counters by one bit per doubling.
+  constexpr unsigned kDefaultBeats = 18;  // the larger calibrated LTRANSF
+  constexpr unsigned kBytesPerBeat = 64;
+  constexpr unsigned kBramBytes = 4608;
+  BlockResources extra;
+  if (burst_beats <= kDefaultBeats) return extra;
+  const std::uint32_t buffer_bytes = 2u * burst_beats * kBytesPerBeat;
+  const std::uint32_t default_bytes = 2u * kDefaultBeats * kBytesPerBeat;
+  extra.bram36 = (buffer_bytes + kBramBytes - 1) / kBramBytes -
+                 (default_bytes + kBramBytes - 1) / kBramBytes;
+  for (unsigned b = kDefaultBeats; b < burst_beats; b *= 2) {
+    extra.luts += 12;  // wider beat counter + address increment
+    extra.ffs += 16;
+  }
+  return extra;
+}
+
+UtilizationReport estimate_utilization(const DeviceSpec& dev,
+                                       const rng::AppConfig& config,
+                                       const DesignPoint& point) {
+  DWI_REQUIRE(point.work_items >= 1, "need at least one work-item");
+  DWI_REQUIRE(point.stream_depth >= 1, "need a non-empty stream FIFO");
+  DWI_REQUIRE(point.burst_beats >= 1, "need at least one beat per burst");
+  BlockResources per_wi = work_item_resources(config);
+  per_wi += stream_fifo_extra(point.stream_depth);
+  per_wi += transfer_unit_extra(point.burst_beats);
+  return report_for(dev, config.name, per_wi, point.work_items);
+}
+
 unsigned max_work_items(const DeviceSpec& dev, const rng::AppConfig& config) {
   unsigned n = 0;
   // §IV-C: "iteratively increased the number of parallel work-items in

@@ -86,6 +86,32 @@ UtilizationReport estimate_utilization(const DeviceSpec& dev,
                                        const rng::AppConfig& config,
                                        unsigned work_items);
 
+/// A tunable design point: the §IV-C work-item count plus the two
+/// depth knobs a re-synthesis would actually change — the
+/// GammaRNG→Transfer FIFO depth and the burst-buffer length (LTRANSF).
+/// Deeper FIFOs and longer bursts buy throughput at a BRAM (and a
+/// little control-logic) cost; the autotuner (src/tune) prunes points
+/// whose extra storage no longer fits the device. At the calibrated
+/// defaults (depth 64, any burst whose double buffer fits the
+/// transfer_unit() budget) the estimate is IDENTICAL to the Table II
+/// path above — tests/test_tune.cpp pins this.
+struct DesignPoint {
+  unsigned work_items = 1;
+  std::size_t stream_depth = 64;
+  unsigned burst_beats = 16;
+};
+
+/// Extra storage of a stream FIFO deepened beyond the calibrated
+/// default and of a burst double-buffer lengthened beyond the
+/// calibrated LTRANSF — the deltas estimate_utilization(DesignPoint)
+/// adds per work-item (zero at or below the defaults).
+BlockResources stream_fifo_extra(std::size_t stream_depth);
+BlockResources transfer_unit_extra(unsigned burst_beats);
+
+UtilizationReport estimate_utilization(const DeviceSpec& dev,
+                                       const rng::AppConfig& config,
+                                       const DesignPoint& point);
+
 /// §IV-C methodology: grow the work-item count until P&R fails; returns
 /// the last routable count (paper: 6 for Config1/2, 8 for Config3/4).
 unsigned max_work_items(const DeviceSpec& dev, const rng::AppConfig& config);

@@ -1,0 +1,82 @@
+// Modeled-capacity admission: the plan the resource-aware capacity
+// planner (src/tune/capacity_planner.h) hands a server or a cluster
+// shard, and the rules that turn it into admission bounds.
+//
+// The serving layer's queue_capacity / max_batch defaults are
+// hand-picked constants; a shard bound to a slow modeled device with a
+// 256-deep queue buffers minutes of work before backpressure fires,
+// while a fast device behind a short queue rejects load it could
+// absorb. A CapacityPlan replaces the constants with quantities derived
+// from the shard's *modeled* throughput on its device for the expected
+// workload mix:
+//
+//   queue_capacity = clamp(ceil(modeled_rps * target_queue_seconds))
+//   max_batch      = clamp(ceil(modeled_rps * batch_window_seconds))
+//
+// i.e. the queue bounds the time-to-drain, not an arbitrary request
+// count, and the batch window bounds how much latency coalescing may
+// add. Both derivations floor at 1 (a shard must always be able to
+// admit and dispatch) and never exceed kMaxDerivedQueue.
+//
+// A plan with modeled_rps == 0 means "no plan": the server falls back
+// to the explicit ServeConfig constants unchanged, which keeps every
+// pre-tuner configuration bit-for-bit identical in behavior.
+//
+// Determinism: the plan only resizes the admission FIFO and the batch
+// window — scheduling shape, never response bytes. The cluster
+// determinism matrix runs with plans on and off and pins equality
+// (tests/test_cluster.cpp).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <string>
+
+namespace dwi::serve {
+
+struct CapacityPlan {
+  /// Modeled sustainable requests/second of the (device, workload mix)
+  /// pair, from tune::plan_capacity. 0 disables the plan (fallback to
+  /// the ServeConfig constants).
+  double modeled_rps = 0.0;
+  /// Worst-case queue drain time the admission bound should allow.
+  double target_queue_seconds = 0.05;
+  /// Latency the batch coalescing window may add.
+  double batch_window_seconds = 0.002;
+  /// Device the plan was computed for (informational, e.g. "fpgasim").
+  std::string device;
+
+  bool enabled() const { return modeled_rps > 0.0; }
+};
+
+/// Upper clamp of any derived bound: far above every sane plan, small
+/// enough that a wild modeled_rps cannot allocate an absurd FIFO.
+inline constexpr std::size_t kMaxDerivedQueue = 1u << 16;
+
+/// Admission-queue bound derived from the plan; `fallback` when the
+/// plan is disabled. Never below 1.
+inline std::size_t derived_queue_capacity(const CapacityPlan& plan,
+                                          std::size_t fallback) {
+  if (!plan.enabled()) return std::max<std::size_t>(1, fallback);
+  const double raw = std::ceil(plan.modeled_rps * plan.target_queue_seconds);
+  const double clamped =
+      std::clamp(raw, 1.0, static_cast<double>(kMaxDerivedQueue));
+  return static_cast<std::size_t>(clamped);
+}
+
+/// Batch-window bound derived from the plan; `fallback` when disabled.
+/// Never below 1, never above the (already derived) queue capacity.
+inline std::size_t derived_max_batch(const CapacityPlan& plan,
+                                     std::size_t fallback,
+                                     std::size_t queue_capacity) {
+  const std::size_t cap = std::max<std::size_t>(1, queue_capacity);
+  if (!plan.enabled()) {
+    return std::clamp<std::size_t>(fallback, 1, cap);
+  }
+  const double raw = std::ceil(plan.modeled_rps * plan.batch_window_seconds);
+  const double clamped = std::clamp(raw, 1.0, static_cast<double>(cap));
+  return static_cast<std::size_t>(clamped);
+}
+
+}  // namespace dwi::serve

@@ -116,8 +116,14 @@ ShardedSamplingServer::ShardedSamplingServer(ClusterConfig cfg)
   for (std::size_t i = 0; i < cfg_.num_shards; ++i) {
     auto shard = std::make_unique<Shard>();
     // Every shard gets the SAME ServeConfig — one server_seed, one
-    // substream geometry — which is the whole determinism story.
-    shard->server = std::make_unique<SamplingServer>(cfg_.shard);
+    // substream geometry — which is the whole determinism story. Only
+    // the capacity plan (admission bounds, not response bytes) may
+    // vary per shard, cycled like the device list.
+    ServeConfig shard_cfg = cfg_.shard;
+    if (!cfg_.shard_capacity.empty()) {
+      shard_cfg.capacity = cfg_.shard_capacity[i % cfg_.shard_capacity.size()];
+    }
+    shard->server = std::make_unique<SamplingServer>(shard_cfg);
     const minicl::BackendKind kind =
         cfg_.devices.empty()
             ? minicl::BackendKind::kFpga
@@ -174,7 +180,8 @@ ServeStatus ShardedSamplingServer::route(const Request& req,
   const std::size_t candidates = cfg_.steal ? order.size() : 1;
   for (std::size_t i = 0; i < candidates; ++i) {
     Shard& shard = *shards_[order[i]];
-    const ServeStatus status = shard.server->try_submit(req, out);
+    bool cache_hit = false;
+    const ServeStatus status = shard.server->try_submit(req, out, &cache_hit);
     switch (status) {
       case ServeStatus::kAdmitted:
         admitted_.fetch_add(1, std::memory_order_relaxed);
@@ -184,7 +191,10 @@ ServeStatus ShardedSamplingServer::route(const Request& req,
           shard.stolen_in.fetch_add(1, std::memory_order_relaxed);
           stolen_.fetch_add(1, std::memory_order_relaxed);
         }
-        if (cfg_.model_devices) {
+        // A cached answer never reached the device: charging the
+        // modeled timeline for it would overstate occupancy and skew
+        // capacity planning, so accounting is for computed work only.
+        if (cfg_.model_devices && !cache_hit) {
           shard.backend->account(modeled_outputs, sector_variance);
         }
         return status;

@@ -102,11 +102,22 @@ struct ClusterConfig {
   /// copy — one server_seed for the whole cluster is precisely what
   /// makes placement irrelevant to response bytes. queue_capacity,
   /// resident, stream_strategy etc. all apply per shard.
+  /// (shard.response_cache_entries turns on a PER-SHARD response
+  /// cache; with consistent-hash placement, retries of an id land on
+  /// the shard that cached it.)
   ServeConfig shard;
 
   /// Simulated device kind per shard; cycled when shorter than
   /// num_shards, all-FPGA when empty.
   std::vector<minicl::BackendKind> devices;
+
+  /// Per-shard modeled-capacity plans (normally from
+  /// tune::plan_cluster_capacity); cycled like `devices` when shorter
+  /// than num_shards. Each entry overrides shard.capacity for its
+  /// shard, so a heterogeneous cluster derives DIFFERENT admission
+  /// bounds per device kind. Empty leaves shard.capacity (usually
+  /// disabled) in force everywhere.
+  std::vector<CapacityPlan> shard_capacity;
 
   /// Mirror admitted requests onto each shard's modeled device
   /// timeline (minicl::ShardBackend::account). Off leaves the device

@@ -114,6 +114,16 @@ void ServerMetrics::record_failed(double latency_seconds) {
   latencies_.record(latency_seconds);
 }
 
+void ServerMetrics::record_cache_hit() {
+  std::lock_guard lock(mutex_);
+  ++cache_hits_;
+}
+
+void ServerMetrics::record_cache_miss() {
+  std::lock_guard lock(mutex_);
+  ++cache_misses_;
+}
+
 std::size_t ServerMetrics::latency_samples_stored() const {
   std::lock_guard lock(mutex_);
   return latencies_.stored();
@@ -133,6 +143,8 @@ MetricsSnapshot ServerMetrics::snapshot() const {
     s.rejected_shutdown = rejected_shutdown_;
     s.completed = completed_;
     s.failed = failed_;
+    s.cache_hits = cache_hits_;
+    s.cache_misses = cache_misses_;
     s.queue_high_water = queue_high_water_;
     s.batches = batches_;
     s.max_batch_occupancy = max_batch_occupancy_;

@@ -103,6 +103,11 @@ struct MetricsSnapshot {
   std::uint64_t rejected_shutdown = 0;
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;             ///< future carries an exception
+  /// Response-cache outcomes (serve/response_cache.h). A hit counts as
+  /// submitted + completed but never admitted; both stay zero when the
+  /// cache is disabled (ServeConfig::response_cache_entries == 0).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
   std::size_t queue_high_water = 0;     ///< max observed admission depth
   std::uint64_t batches = 0;            ///< batches dispatched
   std::size_t max_batch_occupancy = 0;
@@ -123,6 +128,10 @@ class ServerMetrics {
   void record_batch(std::size_t occupancy);
   void record_completed(double latency_seconds);
   void record_failed(double latency_seconds);
+  /// A cache hit also records submitted + completed (the caller
+  /// observed both); this only bumps the hit counter itself.
+  void record_cache_hit();
+  void record_cache_miss();
 
   MetricsSnapshot snapshot() const;
 
@@ -140,6 +149,8 @@ class ServerMetrics {
   std::uint64_t rejected_shutdown_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t failed_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
   std::size_t queue_high_water_ = 0;
   std::uint64_t batches_ = 0;
   std::size_t max_batch_occupancy_ = 0;

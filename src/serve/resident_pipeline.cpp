@@ -9,6 +9,7 @@
 #include "rng/mersenne_twister.h"
 #include "rng/philox.h"
 #include "serve/metrics.h"
+#include "serve/response_cache.h"
 #include "serve/sampling_server.h"
 
 namespace dwi::serve {
@@ -26,9 +27,11 @@ ResidentPipeline::ResidentPipeline(const SamplingServer& server,
                                    ServerMetrics* metrics,
                                    std::size_t queue_capacity,
                                    std::size_t pipe_depth,
-                                   std::size_t row_block)
+                                   std::size_t row_block,
+                                   ResponseCache* cache)
     : server_(&server),
       metrics_(metrics),
+      cache_(cache),
       row_block_(row_block),
       admission_(queue_capacity, "resident.admission"),
       handoff_(pipe_depth, "resident.handoff"),
@@ -168,6 +171,7 @@ void ResidentPipeline::aggregator_loop() {
       res.var95 = dist.value_at_risk(0.95);
       res.var999 = dist.value_at_risk(0.999);
       res.es999 = dist.expected_shortfall(0.999);
+      if (cache_) cache_->insert(job.req, res);
       metrics_->record_completed(duration_seconds(
           job.admitted_at, std::chrono::steady_clock::now()));
       job.promise->set_value(res);

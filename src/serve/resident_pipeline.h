@@ -40,15 +40,18 @@
 
 namespace dwi::serve {
 
+class ResponseCache;
 class SamplingServer;
 
 class ResidentPipeline {
  public:
   /// `server` must outlive the pipeline (it is a member of the server;
-  /// the server destroys it first).
+  /// the server destroys it first). `cache` may be null; when set, the
+  /// aggregator inserts every finished result so idempotent retries of
+  /// a served id are answered without re-entering the chain.
   ResidentPipeline(const SamplingServer& server, ServerMetrics* metrics,
                    std::size_t queue_capacity, std::size_t pipe_depth,
-                   std::size_t row_block);
+                   std::size_t row_block, ResponseCache* cache = nullptr);
   ~ResidentPipeline();
 
   ResidentPipeline(const ResidentPipeline&) = delete;
@@ -89,6 +92,7 @@ class ResidentPipeline {
 
   const SamplingServer* server_;
   ServerMetrics* metrics_;
+  ResponseCache* cache_;  ///< may be null (caching disabled)
   std::size_t row_block_;
 
   hls::Pipe<Job> admission_;

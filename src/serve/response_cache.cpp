@@ -1,0 +1,71 @@
+#include "serve/response_cache.h"
+
+namespace dwi::serve {
+
+ResponseCache::ResponseCache(std::size_t max_entries)
+    : max_entries_(max_entries) {}
+
+ResponseCache::GammaKey ResponseCache::key_of(const GammaRequest& req) {
+  return {req.id, req.alpha, req.scale, req.count,
+          static_cast<int>(req.transform)};
+}
+
+ResponseCache::CreditKey ResponseCache::key_of(const CreditRiskRequest& req) {
+  return {req.id, req.portfolio.get(), req.num_scenarios};
+}
+
+bool ResponseCache::lookup(const GammaRequest& req, GammaResult* out) {
+  if (max_entries_ == 0) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gamma_.find(key_of(req));
+  if (it == gamma_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+bool ResponseCache::lookup(const CreditRiskRequest& req,
+                           CreditRiskResult* out) {
+  if (max_entries_ == 0) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = credit_.find(key_of(req));
+  if (it == credit_.end()) return false;
+  *out = it->second.result;
+  return true;
+}
+
+void ResponseCache::insert(const GammaRequest& req, const GammaResult& result) {
+  if (max_entries_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const GammaKey key = key_of(req);
+  const auto [it, inserted] = gamma_.insert_or_assign(key, result);
+  (void)it;
+  if (!inserted) return;  // overwrite keeps the original FIFO position
+  gamma_order_.push_back(key);
+  if (gamma_order_.size() > max_entries_) {
+    gamma_.erase(gamma_order_.front());
+    gamma_order_.pop_front();
+  }
+}
+
+void ResponseCache::insert(const CreditRiskRequest& req,
+                           const CreditRiskResult& result) {
+  if (max_entries_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const CreditKey key = key_of(req);
+  const auto [it, inserted] =
+      credit_.insert_or_assign(key, CreditEntry{result, req.portfolio});
+  (void)it;
+  if (!inserted) return;
+  credit_order_.push_back(key);
+  if (credit_order_.size() > max_entries_) {
+    credit_.erase(credit_order_.front());
+    credit_order_.pop_front();
+  }
+}
+
+std::size_t ResponseCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return gamma_.size() + credit_.size();
+}
+
+}  // namespace dwi::serve

@@ -1,0 +1,91 @@
+// Bounded deterministic response cache (per server / per cluster
+// shard, behind ServeConfig::response_cache_entries).
+//
+// The serving determinism contract makes responses cacheable by
+// construction: a result is a pure function of (server_seed, request
+// content), so two submissions of the SAME request to the SAME server
+// must produce byte-identical responses — the second one can be
+// answered from memory without touching the scheduler or the modeled
+// backend. That is exactly the idempotent-retry shape the cluster's
+// stable-hash placement produces: a retried request id hashes to the
+// same shard, so a per-shard cache sees every retry of the ids it
+// owns.
+//
+// Correctness over cleverness:
+//   - Lookup keys are the FULL request content, not a hash — a hash
+//     collision must never serve another request's bytes. (The cluster
+//     still routes by stable hash; the cache just refuses to trust
+//     one.)
+//   - A CreditRisk+ entry retains the request's portfolio shared_ptr.
+//     Requests identify the portfolio by pointer (the portfolio is
+//     immutable by contract, request.h), and retaining it guarantees
+//     the pointed-to object outlives the entry — a freed-and-reused
+//     address can never alias a stale hit.
+//   - Eviction is FIFO in insertion order: deterministic, independent
+//     of wall-clock and of lookup timing, so a run's hit/miss sequence
+//     is reproducible.
+//
+// A hit counts as submitted + completed (the client observed both) but
+// NOT admitted — nothing entered the queue — and the cluster router
+// skips ShardBackend::account() for it, so modeled device occupancy
+// charges real work only. Hit/miss totals surface in MetricsSnapshot.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+#include "serve/request.h"
+
+namespace dwi::serve {
+
+class ResponseCache {
+ public:
+  /// `max_entries` bounds each of the two kind-specific maps; 0 makes
+  /// every lookup a miss and every insert a no-op (disabled).
+  explicit ResponseCache(std::size_t max_entries);
+
+  /// Exact-match lookup. On a hit, *out receives a copy of the cached
+  /// result and the call returns true.
+  bool lookup(const GammaRequest& req, GammaResult* out);
+  bool lookup(const CreditRiskRequest& req, CreditRiskResult* out);
+
+  /// Record a computed response. Overwrites an existing entry for the
+  /// same key (idempotent — the determinism contract guarantees the
+  /// value is identical); evicts the oldest entry of the same kind
+  /// once max_entries is reached.
+  void insert(const GammaRequest& req, const GammaResult& result);
+  void insert(const CreditRiskRequest& req, const CreditRiskResult& result);
+
+  std::size_t max_entries() const { return max_entries_; }
+  std::size_t size() const;  ///< entries currently stored (both kinds)
+
+ private:
+  // Full request content, ordered — std::map keeps lookups exact and
+  // iteration deterministic without inventing a request hash.
+  using GammaKey = std::tuple<RequestId, float, float, std::uint32_t, int>;
+  using CreditKey =
+      std::tuple<RequestId, const finance::Portfolio*, std::uint64_t>;
+
+  static GammaKey key_of(const GammaRequest& req);
+  static CreditKey key_of(const CreditRiskRequest& req);
+
+  struct CreditEntry {
+    CreditRiskResult result;
+    /// Aliasing guard: keeps the keyed portfolio address alive for as
+    /// long as the entry may match it.
+    std::shared_ptr<const finance::Portfolio> portfolio;
+  };
+
+  std::size_t max_entries_;
+  mutable std::mutex mutex_;
+  std::map<GammaKey, GammaResult> gamma_;
+  std::deque<GammaKey> gamma_order_;  ///< FIFO insertion order
+  std::map<CreditKey, CreditEntry> credit_;
+  std::deque<CreditKey> credit_order_;
+};
+
+}  // namespace dwi::serve

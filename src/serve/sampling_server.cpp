@@ -42,6 +42,17 @@ SamplingServer::SamplingServer(ServeConfig cfg)
   DWI_REQUIRE(cfg_.stream_strategy != rng::StreamStrategy::kDistinctSeeds,
               "serve: kDistinctSeeds cannot guarantee non-overlapping "
               "request substreams; use kJumpAhead or kCounterBased");
+  // Modeled-capacity admission: an enabled plan replaces the explicit
+  // queue/batch constants with bounds derived from the device's
+  // modeled throughput (serve/capacity.h); config() then reports the
+  // effective values. A disabled plan leaves them untouched.
+  cfg_.queue_capacity =
+      derived_queue_capacity(cfg_.capacity, cfg_.queue_capacity);
+  cfg_.max_batch =
+      derived_max_batch(cfg_.capacity, cfg_.max_batch, cfg_.queue_capacity);
+  if (cfg_.response_cache_entries > 0) {
+    cache_ = std::make_unique<ResponseCache>(cfg_.response_cache_entries);
+  }
   SchedulerConfig sched;
   sched.queue_capacity = cfg_.queue_capacity;
   sched.max_batch = cfg_.max_batch;
@@ -50,7 +61,7 @@ SamplingServer::SamplingServer(ServeConfig cfg)
   if (cfg_.resident) {
     resident_ = std::make_unique<ResidentPipeline>(
         *this, &metrics_, cfg_.queue_capacity, cfg_.resident_pipe_depth,
-        cfg_.resident_row_block);
+        cfg_.resident_row_block, cache_.get());
   }
 }
 
@@ -202,14 +213,35 @@ CreditRiskResult SamplingServer::compute(const CreditRiskRequest& req) const {
 }
 
 template <typename Request, typename Result>
+bool SamplingServer::serve_from_cache(const Request& req,
+                                      std::future<Result>* out,
+                                      bool* cache_hit) {
+  if (!cache_) return false;
+  Result cached;
+  if (!cache_->lookup(req, &cached)) {
+    metrics_.record_cache_miss();
+    return false;
+  }
+  metrics_.record_cache_hit();
+  metrics_.record_completed(0.0);  // answered in-line, nothing queued
+  std::promise<Result> promise;
+  promise.set_value(std::move(cached));
+  *out = promise.get_future();
+  if (cache_hit) *cache_hit = true;
+  return true;
+}
+
+template <typename Request, typename Result>
 ServeStatus SamplingServer::submit_impl(RequestKind kind, const Request& req,
-                                        std::future<Result>* out) {
+                                        std::future<Result>* out,
+                                        bool* cache_hit) {
   metrics_.record_submitted();
   const ServeStatus valid = validate(req);
   if (valid != ServeStatus::kAdmitted) {
     metrics_.record_rejected(valid);
     return valid;
   }
+  if (serve_from_cache(req, out, cache_hit)) return ServeStatus::kAdmitted;
 
   auto promise = std::make_shared<std::promise<Result>>();
   std::future<Result> future = promise->get_future();
@@ -226,6 +258,7 @@ ServeStatus SamplingServer::submit_impl(RequestKind kind, const Request& req,
   job.run = [this, req, promise, admitted_at] {
     try {
       Result result = compute(req);
+      if (cache_) cache_->insert(req, result);
       metrics_.record_completed(duration_seconds(
           admitted_at, std::chrono::steady_clock::now()));
       promise->set_value(std::move(result));
@@ -247,13 +280,28 @@ ServeStatus SamplingServer::submit_impl(RequestKind kind, const Request& req,
 
 ServeStatus SamplingServer::try_submit(const GammaRequest& req,
                                        std::future<GammaResult>* out) {
-  DWI_ASSERT(out != nullptr);
-  return submit_impl<GammaRequest, GammaResult>(RequestKind::kGamma, req, out);
+  return try_submit(req, out, nullptr);
 }
 
 ServeStatus SamplingServer::try_submit(const CreditRiskRequest& req,
                                        std::future<CreditRiskResult>* out) {
+  return try_submit(req, out, nullptr);
+}
+
+ServeStatus SamplingServer::try_submit(const GammaRequest& req,
+                                       std::future<GammaResult>* out,
+                                       bool* cache_hit) {
   DWI_ASSERT(out != nullptr);
+  if (cache_hit) *cache_hit = false;
+  return submit_impl<GammaRequest, GammaResult>(RequestKind::kGamma, req, out,
+                                                cache_hit);
+}
+
+ServeStatus SamplingServer::try_submit(const CreditRiskRequest& req,
+                                       std::future<CreditRiskResult>* out,
+                                       bool* cache_hit) {
+  DWI_ASSERT(out != nullptr);
+  if (cache_hit) *cache_hit = false;
   if (resident_) {
     // Resident chain: validated here, admitted straight onto the
     // pipeline's bounded admission pipe (same metrics protocol as the
@@ -264,6 +312,7 @@ ServeStatus SamplingServer::try_submit(const CreditRiskRequest& req,
       metrics_.record_rejected(valid);
       return valid;
     }
+    if (serve_from_cache(req, out, cache_hit)) return ServeStatus::kAdmitted;
     const ServeStatus status = resident_->try_enqueue(req, out);
     if (status != ServeStatus::kAdmitted) {
       metrics_.record_rejected(status);
@@ -273,7 +322,7 @@ ServeStatus SamplingServer::try_submit(const CreditRiskRequest& req,
     return ServeStatus::kAdmitted;
   }
   return submit_impl<CreditRiskRequest, CreditRiskResult>(
-      RequestKind::kCreditRisk, req, out);
+      RequestKind::kCreditRisk, req, out, cache_hit);
 }
 
 std::future<GammaResult> SamplingServer::submit(const GammaRequest& req) {

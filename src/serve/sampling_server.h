@@ -37,9 +37,11 @@
 #include "rng/philox.h"
 #include "rng/stream_strategy.h"
 #include "serve/batch_scheduler.h"
+#include "serve/capacity.h"
 #include "serve/metrics.h"
 #include "serve/request.h"
 #include "serve/resident_pipeline.h"
+#include "serve/response_cache.h"
 
 namespace dwi::serve {
 
@@ -101,6 +103,19 @@ struct ServeConfig {
   std::size_t resident_row_block = 64;
   /// Depth of the resident handoff and row pipes.
   std::size_t resident_pipe_depth = 8;
+
+  /// Modeled-capacity admission (serve/capacity.h). When enabled
+  /// (modeled_rps > 0, normally filled in by tune::apply_capacity),
+  /// the constructor REPLACES queue_capacity and max_batch above with
+  /// bounds derived from the plan; config() reflects the effective
+  /// values. Disabled plans leave the explicit constants untouched.
+  CapacityPlan capacity;
+
+  /// Bounded deterministic response cache
+  /// (serve/response_cache.h): entries retained per request kind.
+  /// 0 (default) disables caching entirely — no lookup, no counters —
+  /// so existing baselines and determinism matrices are unaffected.
+  std::size_t response_cache_entries = 0;
 };
 
 class SamplingServer {
@@ -118,6 +133,16 @@ class SamplingServer {
                          std::future<GammaResult>* out);
   ServeStatus try_submit(const CreditRiskRequest& req,
                          std::future<CreditRiskResult>* out);
+  /// As above, additionally reporting whether the response came from
+  /// the response cache (the future is then already ready and nothing
+  /// entered the admission queue). `cache_hit` may be null. The
+  /// cluster router uses this to skip modeled-device accounting for
+  /// cached answers.
+  ServeStatus try_submit(const GammaRequest& req,
+                         std::future<GammaResult>* out, bool* cache_hit);
+  ServeStatus try_submit(const CreditRiskRequest& req,
+                         std::future<CreditRiskResult>* out,
+                         bool* cache_hit);
 
   /// Throwing wrappers: return the future or throw RejectedError.
   std::future<GammaResult> submit(const GammaRequest& req);
@@ -166,12 +191,24 @@ class SamplingServer {
 
   template <typename Request, typename Result>
   ServeStatus submit_impl(RequestKind kind, const Request& req,
-                          std::future<Result>* out);
+                          std::future<Result>* out, bool* cache_hit);
+
+  /// Serve `req` from the cache if present: fulfills *out with an
+  /// already-ready future, records submitted/hit/completed (never
+  /// admitted), sets *cache_hit. Returns false (recording a miss) when
+  /// the cache is enabled but cold; no-op false when disabled.
+  template <typename Request, typename Result>
+  bool serve_from_cache(const Request& req, std::future<Result>* out,
+                        bool* cache_hit);
 
   ServeConfig cfg_;
   rng::SubstreamSplitter splitter_;      ///< kJumpAhead derivation
   rng::CounterSubstreams counter_streams_;  ///< kCounterBased derivation
   ServerMetrics metrics_;
+  /// Response cache (cfg_.response_cache_entries; null when disabled).
+  /// Declared before the scheduler/resident chain so in-flight jobs
+  /// can still insert while those drain on shutdown.
+  std::unique_ptr<ResponseCache> cache_;
   std::unique_ptr<BatchScheduler> scheduler_;
   /// Resident CreditRisk+ chain (cfg_.resident); declared after the
   /// scheduler so it drains first on destruction.

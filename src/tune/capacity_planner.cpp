@@ -1,0 +1,83 @@
+#include "tune/capacity_planner.h"
+
+#include <map>
+#include <utility>
+
+#include "common/error.h"
+
+namespace dwi::tune {
+
+serve::CapacityPlan plan_capacity(const minicl::ShardBackend& backend,
+                                  const WorkloadMix& mix,
+                                  double target_queue_seconds,
+                                  double batch_window_seconds) {
+  DWI_REQUIRE(mix.gamma_weight >= 0.0 && mix.credit_weight >= 0.0,
+              "capacity planner: negative workload weight");
+  const double weight_sum = mix.gamma_weight + mix.credit_weight;
+  DWI_REQUIRE(weight_sum > 0.0, "capacity planner: empty workload mix");
+  DWI_REQUIRE(target_queue_seconds > 0.0 && batch_window_seconds > 0.0,
+              "capacity planner: windows must be positive");
+
+  double weighted_seconds = 0.0;
+  if (mix.gamma_weight > 0.0) {
+    weighted_seconds += mix.gamma_weight * backend.estimate_seconds(
+                                               mix.gamma_outputs,
+                                               mix.gamma_variance);
+  }
+  if (mix.credit_weight > 0.0) {
+    weighted_seconds += mix.credit_weight * backend.estimate_seconds(
+                                                mix.credit_outputs,
+                                                mix.credit_variance);
+  }
+  const double mean_seconds = weighted_seconds / weight_sum;
+  DWI_REQUIRE(mean_seconds > 0.0,
+              "capacity planner: device model priced the mix at zero");
+
+  serve::CapacityPlan plan;
+  plan.modeled_rps = 1.0 / mean_seconds;
+  plan.target_queue_seconds = target_queue_seconds;
+  plan.batch_window_seconds = batch_window_seconds;
+  plan.device = backend.name();
+  return plan;
+}
+
+std::vector<serve::CapacityPlan> plan_cluster_capacity(
+    const serve::ClusterConfig& cfg, const WorkloadMix& mix,
+    double target_queue_seconds, double batch_window_seconds) {
+  DWI_REQUIRE(cfg.num_shards >= 1, "capacity planner: need a shard");
+  // One fresh backend per distinct device kind: the modeled rate only
+  // depends on the kind, so shards sharing a kind share the pricing
+  // (but each plan still names its own shard's backend).
+  std::map<minicl::BackendKind, double> rps_by_kind;
+  std::vector<serve::CapacityPlan> plans;
+  plans.reserve(cfg.num_shards);
+  for (std::size_t i = 0; i < cfg.num_shards; ++i) {
+    const minicl::BackendKind kind =
+        cfg.devices.empty() ? minicl::BackendKind::kFpga
+                            : cfg.devices[i % cfg.devices.size()];
+    const auto backend =
+        minicl::make_shard_backend(kind, static_cast<unsigned>(i));
+    serve::CapacityPlan plan;
+    const auto it = rps_by_kind.find(kind);
+    if (it != rps_by_kind.end()) {
+      plan.modeled_rps = it->second;
+      plan.target_queue_seconds = target_queue_seconds;
+      plan.batch_window_seconds = batch_window_seconds;
+      plan.device = backend->name();
+    } else {
+      plan = plan_capacity(*backend, mix, target_queue_seconds,
+                           batch_window_seconds);
+      rps_by_kind.emplace(kind, plan.modeled_rps);
+    }
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+serve::ServeConfig apply_capacity(serve::ServeConfig cfg,
+                                  const serve::CapacityPlan& plan) {
+  cfg.capacity = plan;
+  return cfg;
+}
+
+}  // namespace dwi::tune

@@ -1,0 +1,59 @@
+// Capacity planner: turns a shard's modeled device throughput into the
+// serve::CapacityPlan the admission layer derives its bounds from.
+//
+// The serving cluster already mirrors every admitted request onto its
+// shard's simulated device (minicl::ShardBackend::account) — the
+// planner runs the same pricing BEFORE any traffic exists:
+// ShardBackend::estimate_seconds prices one request of each shape in
+// the expected workload mix on the shard's device, the weighted mean
+// inverts into a modeled requests/second, and serve/capacity.h turns
+// that into queue and batch bounds. A heterogeneous cluster (FPGA +
+// CPU shards) therefore derives DIFFERENT admission bounds per shard
+// from one workload mix — the slow device gets the short queue.
+#pragma once
+
+#include <vector>
+
+#include "minicl/shard_backend.h"
+#include "serve/capacity.h"
+#include "serve/cluster.h"
+#include "serve/sampling_server.h"
+
+namespace dwi::tune {
+
+/// The request mix a shard is expected to serve, in the modeled
+/// device's units (total_outputs, sector_variance — the same pair the
+/// router passes to ShardBackend::account).
+struct WorkloadMix {
+  double gamma_weight = 7.0;           ///< relative request frequency
+  std::uint64_t gamma_outputs = 2048;  ///< samples per gamma request
+  float gamma_variance = 1.0f;         ///< 1/alpha of a typical request
+  double credit_weight = 1.0;
+  std::uint64_t credit_outputs = 512;  ///< scenarios x sectors
+  float credit_variance = 1.39f;
+};
+
+/// Price `mix` on `backend`'s device and return the capacity plan:
+/// modeled_rps = 1 / (weighted mean modeled seconds per request).
+/// `target_queue_seconds` / `batch_window_seconds` pass through to the
+/// plan (see serve/capacity.h for how bounds derive from them).
+serve::CapacityPlan plan_capacity(const minicl::ShardBackend& backend,
+                                  const WorkloadMix& mix,
+                                  double target_queue_seconds = 0.05,
+                                  double batch_window_seconds = 0.002);
+
+/// One plan per shard of `cfg`, pricing `mix` on the same device
+/// cycling the cluster constructor uses — ready to assign to
+/// ClusterConfig::shard_capacity. Devices are instantiated fresh here
+/// (the plans must not touch the cluster's own backends' accounts).
+std::vector<serve::CapacityPlan> plan_cluster_capacity(
+    const serve::ClusterConfig& cfg, const WorkloadMix& mix,
+    double target_queue_seconds = 0.05, double batch_window_seconds = 0.002);
+
+/// One-call wiring: returns `cfg` with the plan installed, ready to
+/// construct a SamplingServer whose admission bounds come from modeled
+/// capacity (README shows the snippet).
+serve::ServeConfig apply_capacity(serve::ServeConfig cfg,
+                                  const serve::CapacityPlan& plan);
+
+}  // namespace dwi::tune

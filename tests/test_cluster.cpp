@@ -683,5 +683,100 @@ TEST(ShardBackend, FreshDevicePerShardAccumulatesModeledTime) {
   EXPECT_DOUBLE_EQ(fpga->modeled_busy_seconds(), 2.0 * once);
 }
 
+TEST(ShardBackend, EstimateSecondsPricesWithoutAccounting) {
+  auto backend = minicl::make_shard_backend(minicl::BackendKind::kFpga, 0);
+  const double est = backend->estimate_seconds(4096, 1.39f);
+  EXPECT_GT(est, 0.0);
+  // Pure pricing: the capacity planner must be able to ask "how fast is
+  // this device" without polluting the shard's busy-time ledger.
+  EXPECT_EQ(backend->modeled_launches(), 0u);
+  EXPECT_DOUBLE_EQ(backend->modeled_busy_seconds(), 0.0);
+  // And it must agree with what account() would have charged.
+  backend->account(4096, 1.39f);
+  EXPECT_DOUBLE_EQ(backend->modeled_busy_seconds(), est);
+}
+
+// ---------------------------------------------------------------------
+// Capacity-derived admission + response cache at cluster scope
+// ---------------------------------------------------------------------
+
+TEST(ClusterDeterminism, CapacityPlansAndCacheCannotMoveBits) {
+  // The tuning-on cluster derives per-shard admission bounds from
+  // heterogeneous capacity plans AND serves repeats from the per-shard
+  // response cache; every response must stay bit-identical to the
+  // constants-only, cache-off cluster.
+  ThreadCountGuard guard;
+  exec::set_thread_count(2);
+  const auto items = mixed_request_set();
+
+  serve::ClusterConfig plain;
+  plain.num_shards = 4;
+  ServedResults reference;
+  {
+    serve::ShardedSamplingServer cluster(plain);
+    reference = serve_set(cluster, items);
+  }
+
+  serve::ClusterConfig tuned = plain;
+  tuned.shard.response_cache_entries = 64;
+  serve::CapacityPlan fast, slow;
+  fast.modeled_rps = 20000.0;
+  fast.device = "fast-device";
+  slow.modeled_rps = 5000.0;
+  slow.device = "slow-device";
+  tuned.shard_capacity = {fast, slow};  // cycled across the 4 shards
+  serve::ShardedSamplingServer cluster(tuned);
+  // Per-shard bounds really did diverge by plan before any traffic.
+  EXPECT_EQ(cluster.shard(0).config().queue_capacity, 1000u);
+  EXPECT_EQ(cluster.shard(1).config().queue_capacity, 250u);
+  EXPECT_EQ(cluster.shard(2).config().queue_capacity, 1000u);
+
+  const ServedResults first = serve_set(cluster, items);
+  const ServedResults repeat = serve_set(cluster, items);  // cache hits
+  expect_identical(reference, first, items);
+  expect_identical(reference, repeat, items);
+
+  std::uint64_t hits = 0;
+  const serve::ClusterSnapshot snap = cluster.metrics();
+  for (const serve::ShardSnapshot& shard : snap.shards) {
+    hits += shard.metrics.cache_hits;
+  }
+  EXPECT_EQ(hits, items.size());  // the whole second pass was served hot
+}
+
+TEST(ClusterCache, HitSkipsTheModeledDeviceAccount) {
+  // A cached answer never reaches the device, so the router must not
+  // charge the shard's modeled-occupancy ledger for it.
+  serve::ClusterConfig cfg;
+  cfg.num_shards = 2;
+  cfg.shard.response_cache_entries = 16;
+  serve::ShardedSamplingServer cluster(cfg);
+
+  serve::GammaRequest req;
+  req.id = 99;
+  req.alpha = 1.39f;
+  req.scale = 1.0f;
+  req.count = 129;
+  (void)cluster.run(req);
+
+  const auto launches = [&] {
+    std::uint64_t total = 0;
+    for (const auto& shard : cluster.metrics().shards) {
+      total += shard.modeled_launches;
+    }
+    return total;
+  };
+  const std::uint64_t after_first = launches();
+  EXPECT_EQ(after_first, 1u);
+
+  (void)cluster.run(req);  // served from the shard's cache
+  EXPECT_EQ(launches(), after_first);
+  const serve::ClusterSnapshot snap = cluster.metrics();
+  EXPECT_EQ(snap.submitted, 2u);
+  std::uint64_t hits = 0;
+  for (const auto& shard : snap.shards) hits += shard.metrics.cache_hits;
+  EXPECT_EQ(hits, 1u);
+}
+
 }  // namespace
 }  // namespace dwi

@@ -828,5 +828,175 @@ TEST(ServeMetrics, RecorderStorageStaysBoundedUnderLoad) {
   EXPECT_GT(m.latency.p99_seconds, 0.0);
 }
 
+// ---------------------------------------------------------------------
+// Modeled-capacity admission (serve/capacity.h wiring)
+// ---------------------------------------------------------------------
+
+TEST(ServeCapacity, EnabledPlanReplacesQueueAndBatchConstants) {
+  serve::ServeConfig cfg;
+  cfg.queue_capacity = 256;
+  cfg.max_batch = 16;
+  cfg.capacity.modeled_rps = 100.0;  // 0.05 s queue -> 5, 2 ms batch -> 1
+  serve::SamplingServer server(cfg);
+  EXPECT_EQ(server.config().queue_capacity, 5u);
+  EXPECT_EQ(server.config().max_batch, 1u);
+}
+
+TEST(ServeCapacity, BoundsTrackTheModeledDeviceSpeed) {
+  // Same workload mix, two modeled devices: the faster device derives
+  // the wider admission bounds — the whole point of capacity-aware
+  // admission on a heterogeneous cluster.
+  serve::ServeConfig fast_cfg, slow_cfg;
+  fast_cfg.capacity.modeled_rps = 20000.0;
+  slow_cfg.capacity.modeled_rps = 30.0;
+  serve::SamplingServer fast_server(fast_cfg);
+  serve::SamplingServer slow_server(slow_cfg);
+  EXPECT_GT(fast_server.config().queue_capacity,
+            slow_server.config().queue_capacity);
+  EXPECT_GE(fast_server.config().max_batch,
+            slow_server.config().max_batch);
+  // Floors: even a glacial modeled device must admit and dispatch.
+  serve::ServeConfig glacial_cfg;
+  glacial_cfg.capacity.modeled_rps = 1e-6;
+  serve::SamplingServer glacial(glacial_cfg);
+  EXPECT_GE(glacial.config().queue_capacity, 1u);
+  EXPECT_GE(glacial.config().max_batch, 1u);
+}
+
+TEST(ServeCapacity, DisabledPlanKeepsTheExplicitConstants) {
+  serve::ServeConfig cfg;
+  cfg.queue_capacity = 77;
+  cfg.max_batch = 9;
+  // cfg.capacity left at its default: modeled_rps == 0, plan off.
+  serve::SamplingServer server(cfg);
+  EXPECT_EQ(server.config().queue_capacity, 77u);
+  EXPECT_EQ(server.config().max_batch, 9u);
+}
+
+TEST(ServeCapacity, DerivedBoundsDoNotMoveResponseBits) {
+  const auto items = mixed_request_set();
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  serve::ServeConfig plain;
+  serve::ServeConfig planned;
+  planned.capacity.modeled_rps = 4000.0;  // queue 200, batch 8
+  serve::SamplingServer a(plain), b(planned);
+  expect_identical(serve_set(a, items, order), serve_set(b, items, order),
+                   items);
+}
+
+// ---------------------------------------------------------------------
+// Bounded deterministic response cache
+// ---------------------------------------------------------------------
+
+TEST(ServeCache, RepeatRequestHitsAndServesIdenticalBytes) {
+  serve::ServeConfig cached_cfg;
+  cached_cfg.response_cache_entries = 32;
+  serve::SamplingServer cached(cached_cfg);
+  serve::SamplingServer plain{serve::ServeConfig{}};
+
+  serve::GammaRequest req;
+  req.id = 42;
+  req.alpha = 1.39f;
+  req.scale = 1.0f;
+  req.count = 257;
+
+  const serve::GammaResult first = cached.run(req);
+  const serve::GammaResult again = cached.run(req);
+  const serve::GammaResult uncached = plain.run(req);
+  // A hit replays the stored bytes; caching can never move a bit
+  // relative to an uncached server with the same seed.
+  ASSERT_EQ(first.samples, again.samples);
+  ASSERT_EQ(first.samples, uncached.samples);
+  EXPECT_EQ(first.attempts, again.attempts);
+
+  const serve::MetricsSnapshot m = cached.metrics();
+  EXPECT_EQ(m.cache_hits, 1u);
+  EXPECT_EQ(m.cache_misses, 1u);
+  EXPECT_EQ(m.submitted, 2u);
+  EXPECT_EQ(m.completed, 2u);
+  EXPECT_EQ(m.admitted, 1u);  // the hit never entered the queue
+  // The cache-off server records no cache traffic at all.
+  EXPECT_EQ(plain.metrics().cache_hits, 0u);
+  EXPECT_EQ(plain.metrics().cache_misses, 0u);
+}
+
+TEST(ServeCache, TrySubmitReportsTheHit) {
+  serve::ServeConfig cfg;
+  cfg.response_cache_entries = 8;
+  serve::SamplingServer server(cfg);
+  serve::GammaRequest req;
+  req.id = 7;
+  req.alpha = 2.0f;
+  req.scale = 1.0f;
+  req.count = 64;
+  std::future<serve::GammaResult> f1, f2;
+  bool hit1 = true, hit2 = false;
+  ASSERT_EQ(server.try_submit(req, &f1, &hit1),
+            serve::ServeStatus::kAdmitted);
+  EXPECT_FALSE(hit1);
+  (void)f1.get();
+  ASSERT_EQ(server.try_submit(req, &f2, &hit2),
+            serve::ServeStatus::kAdmitted);
+  EXPECT_TRUE(hit2);
+  (void)f2.get();
+}
+
+TEST(ServeCache, SameIdDifferentParametersIsNotAHit) {
+  serve::ServeConfig cfg;
+  cfg.response_cache_entries = 8;
+  serve::SamplingServer server(cfg);
+  serve::GammaRequest req;
+  req.id = 11;
+  req.alpha = 1.5f;
+  req.scale = 1.0f;
+  req.count = 64;
+  (void)server.run(req);
+  req.alpha = 4.0f;  // same id, different request content
+  (void)server.run(req);
+  const serve::MetricsSnapshot m = server.metrics();
+  EXPECT_EQ(m.cache_hits, 0u);
+  EXPECT_EQ(m.cache_misses, 2u);
+}
+
+TEST(ServeCache, FifoEvictionKeepsTheCacheBounded) {
+  serve::ServeConfig cfg;
+  cfg.response_cache_entries = 2;
+  serve::SamplingServer server(cfg);
+  serve::GammaRequest req;
+  req.alpha = 1.5f;
+  req.scale = 1.0f;
+  req.count = 64;
+  for (serve::RequestId id = 1; id <= 3; ++id) {
+    req.id = id;
+    (void)server.run(req);  // id 1 is evicted when id 3 lands
+  }
+  req.id = 1;
+  (void)server.run(req);  // miss: evicted
+  req.id = 3;
+  (void)server.run(req);  // hit: still resident
+  const serve::MetricsSnapshot m = server.metrics();
+  EXPECT_EQ(m.cache_hits, 1u);
+  EXPECT_EQ(m.cache_misses, 4u);
+}
+
+TEST(ServeCache, ResidentCreditPathServesFromCache) {
+  serve::ServeConfig cfg;
+  cfg.resident = true;
+  cfg.response_cache_entries = 8;
+  serve::SamplingServer server(cfg);
+  serve::CreditRiskRequest req;
+  req.id = 77;
+  req.portfolio = test_portfolio();
+  req.num_scenarios = 64;
+  const serve::CreditRiskResult first = server.run(req);
+  const serve::CreditRiskResult again = server.run(req);
+  ASSERT_EQ(first.mean, again.mean);
+  ASSERT_EQ(first.var999, again.var999);
+  const serve::MetricsSnapshot m = server.metrics();
+  EXPECT_EQ(m.cache_hits, 1u);
+  EXPECT_EQ(m.cache_misses, 1u);
+}
+
 }  // namespace
 }  // namespace dwi
