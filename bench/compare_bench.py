@@ -88,6 +88,25 @@ def tuner_checks(fresh, failures, bench):
             f"workload categories: {detail}")
 
 
+def zoo_checks(fresh, failures, bench):
+    """Extra gates of the "workload_zoo" bench kind (bench/workload_zoo):
+    dynamic scheduling must keep beating the static schedule — on the
+    colliding histogram traces as a whole, and per workload entry. The
+    cycle counts are modeled and deterministic, so any flip here is a
+    scheduler correctness change, not host noise."""
+    if fresh.get("kind") != "workload_zoo":
+        return
+    if fresh.get("dynamic_beats_static_histogram") is False:
+        failures.append(
+            f"{bench}: dynamic scheduling no longer beats the static "
+            f"schedule on colliding histogram traces")
+    for entry in fresh.get("sweep", []):
+        if entry.get("dynamic_beats_static") is False:
+            failures.append(
+                f"{bench}: workload={entry.get('workload')}: "
+                f"dynamic_cycles >= static_cycles in the fresh run")
+
+
 def walk_flags(node, path, failures, bench):
     """Recursively find identical_across_threads / *_identical flags."""
     if isinstance(node, dict):
@@ -130,6 +149,7 @@ def main():
                         f"{base.get('seed')!r} vs fresh {fresh.get('seed')!r}")
     walk_flags(fresh, "", failures, bench)
     tuner_checks(fresh, failures, bench)
+    zoo_checks(fresh, failures, bench)
 
     bsweep = sweep_by_key(base)
     fsweep = sweep_by_key(fresh)

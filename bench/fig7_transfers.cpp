@@ -6,13 +6,23 @@
 // raw interface peak.
 #include <iostream>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "bench_args.h"
+#include "bench_json.h"
 #include "common/table.h"
 #include "fpga/device.h"
 #include "fpga/kernel_sim.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dwi;
+
+  // Pure device simulation (dummy data, no RNG): --seed and --threads
+  // are parsed for CLI uniformity only; the cycle counts are exact.
+  const auto args = bench::parse_bench_args(argc, argv, "fig7_transfers",
+                                            "BENCH_fig7.json");
+  if (!args) return 2;
   const auto& dev = fpga::adm_pcie_7v3();
 
   // Full-size Fig 7 transfers 2.5 GB; simulate a 1/256 slice and
@@ -56,6 +66,11 @@ int main() {
     double paper_bw;
   } points[] = {{"Config1/2 (6 WI, 256-RN bursts)", 6, 16, 3.58},
                 {"Config3/4 (8 WI, 288-RN bursts)", 8, 18, 3.94}};
+  struct PointResult {
+    const char* name;
+    double bandwidth_gbs, paper_gbs, runtime_ms;
+  };
+  std::vector<PointResult> results;
   for (const auto& p : points) {
     fpga::KernelSimConfig cfg;
     cfg.work_items = p.wi;
@@ -64,11 +79,12 @@ int main() {
     const auto r = fpga::simulate_kernel(cfg, [](unsigned) {
       return std::make_unique<fpga::DummyProducer>();
     });
-    b.add_row({p.name, TextTable::num(r.bandwidth_bytes(dev.clock_hz) / 1e9, 2),
-               TextTable::num(p.paper_bw, 2),
-               TextTable::num(fpga::extrapolate_seconds(r, full_floats,
-                                                        dev.clock_hz) * 1e3,
-                              0)});
+    const double bw_gbs = r.bandwidth_bytes(dev.clock_hz) / 1e9;
+    const double runtime_ms =
+        fpga::extrapolate_seconds(r, full_floats, dev.clock_hz) * 1e3;
+    results.push_back({p.name, bw_gbs, p.paper_bw, runtime_ms});
+    b.add_row({p.name, TextTable::num(bw_gbs, 2), TextTable::num(p.paper_bw, 2),
+               TextTable::num(runtime_ms, 0)});
   }
   b.render(std::cout);
   std::cout << "Raw interface peak: "
@@ -77,5 +93,25 @@ int main() {
                "2015.4 memory subsystem (the paper: 'further customizations "
                "of the memory controller inside the tool would improve the "
                "performance').\n";
+
+  if (auto jf = bench::open_bench_json(args->json_path)) {
+    bench::JsonWriter j(jf);
+    j.begin_object();
+    bench::write_bench_header(j, "fig7_transfers", args->seed);
+    j.kv("peak_bandwidth_gbs", dev.peak_bandwidth_bytes() / 1e9);
+    j.key("operating_points").begin_array();
+    for (const PointResult& r : results) {
+      j.begin_object();
+      j.kv("name", r.name);
+      j.kv("bandwidth_gbs", r.bandwidth_gbs);
+      j.kv("paper_gbs", r.paper_gbs);
+      j.kv("runtime_2_5gb_ms", r.runtime_ms);
+      j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+    jf << "\n";
+    std::cout << "Wrote " << args->json_path << "\n";
+  }
   return 0;
 }

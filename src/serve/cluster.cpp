@@ -239,6 +239,33 @@ ServeStatus ShardedSamplingServer::try_submit(
                                                     variance);
 }
 
+ServeStatus ShardedSamplingServer::try_submit(
+    const HistogramRequest& req, std::future<HistogramResult>* out) {
+  DWI_ASSERT(out != nullptr);
+  // One modeled output per update; divergence knob maps to variance
+  // like gamma shape does (hotter traces stall more on real hardware).
+  return route<HistogramRequest, HistogramResult>(
+      req, out, req.num_updates, 1.0f + req.hot_fraction);
+}
+
+ServeStatus ShardedSamplingServer::try_submit(const SpmvRequest& req,
+                                              std::future<SpmvResult>* out) {
+  DWI_ASSERT(out != nullptr);
+  // Expected nnz: rows × midpoint of the per-row occupancy range.
+  const std::uint64_t outputs =
+      std::uint64_t{req.rows} *
+      ((std::uint64_t{req.nnz_per_row_min} + req.nnz_per_row_max + 1) / 2);
+  return route<SpmvRequest, SpmvResult>(req, out, std::max<std::uint64_t>(
+                                                      outputs, req.rows),
+                                        1.0f);
+}
+
+ServeStatus ShardedSamplingServer::try_submit(
+    const MatchingRequest& req, std::future<MatchingResult>* out) {
+  DWI_ASSERT(out != nullptr);
+  return route<MatchingRequest, MatchingResult>(req, out, req.num_edges, 1.0f);
+}
+
 std::future<GammaResult> ShardedSamplingServer::submit(
     const GammaRequest& req) {
   std::future<GammaResult> f;
@@ -262,11 +289,56 @@ std::future<CreditRiskResult> ShardedSamplingServer::submit(
   return f;
 }
 
+std::future<HistogramResult> ShardedSamplingServer::submit(
+    const HistogramRequest& req) {
+  std::future<HistogramResult> f;
+  const ServeStatus s = try_submit(req, &f);
+  if (s != ServeStatus::kAdmitted) {
+    throw RejectedError(
+        s, std::string("cluster: histogram request rejected: ") +
+               to_string(s));
+  }
+  return f;
+}
+
+std::future<SpmvResult> ShardedSamplingServer::submit(const SpmvRequest& req) {
+  std::future<SpmvResult> f;
+  const ServeStatus s = try_submit(req, &f);
+  if (s != ServeStatus::kAdmitted) {
+    throw RejectedError(
+        s, std::string("cluster: spmv request rejected: ") + to_string(s));
+  }
+  return f;
+}
+
+std::future<MatchingResult> ShardedSamplingServer::submit(
+    const MatchingRequest& req) {
+  std::future<MatchingResult> f;
+  const ServeStatus s = try_submit(req, &f);
+  if (s != ServeStatus::kAdmitted) {
+    throw RejectedError(
+        s, std::string("cluster: matching request rejected: ") + to_string(s));
+  }
+  return f;
+}
+
 GammaResult ShardedSamplingServer::run(const GammaRequest& req) {
   return submit(req).get();
 }
 
 CreditRiskResult ShardedSamplingServer::run(const CreditRiskRequest& req) {
+  return submit(req).get();
+}
+
+HistogramResult ShardedSamplingServer::run(const HistogramRequest& req) {
+  return submit(req).get();
+}
+
+SpmvResult ShardedSamplingServer::run(const SpmvRequest& req) {
+  return submit(req).get();
+}
+
+MatchingResult ShardedSamplingServer::run(const MatchingRequest& req) {
   return submit(req).get();
 }
 

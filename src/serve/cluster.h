@@ -167,12 +167,23 @@ class ShardedSamplingServer {
                          std::future<GammaResult>* out);
   ServeStatus try_submit(const CreditRiskRequest& req,
                          std::future<CreditRiskResult>* out);
+  ServeStatus try_submit(const HistogramRequest& req,
+                         std::future<HistogramResult>* out);
+  ServeStatus try_submit(const SpmvRequest& req, std::future<SpmvResult>* out);
+  ServeStatus try_submit(const MatchingRequest& req,
+                         std::future<MatchingResult>* out);
 
   /// Throwing / synchronous wrappers, as on SamplingServer.
   std::future<GammaResult> submit(const GammaRequest& req);
   std::future<CreditRiskResult> submit(const CreditRiskRequest& req);
+  std::future<HistogramResult> submit(const HistogramRequest& req);
+  std::future<SpmvResult> submit(const SpmvRequest& req);
+  std::future<MatchingResult> submit(const MatchingRequest& req);
   GammaResult run(const GammaRequest& req);
   CreditRiskResult run(const CreditRiskRequest& req);
+  HistogramResult run(const HistogramRequest& req);
+  SpmvResult run(const SpmvRequest& req);
+  MatchingResult run(const MatchingRequest& req);
 
   /// Stop admitting cluster-wide, then drain every shard. Idempotent.
   void shutdown();

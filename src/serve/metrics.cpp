@@ -4,8 +4,19 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "serve/batch_scheduler.h"
 
 namespace dwi::serve {
+
+namespace {
+
+std::size_t kind_index(RequestKind kind) {
+  const auto i = static_cast<std::size_t>(kind);
+  DWI_ASSERT(i < kMaxRequestKinds);
+  return i;
+}
+
+}  // namespace
 
 LatencySummary summarize_latencies(std::vector<double> seconds) {
   LatencySummary s;
@@ -74,9 +85,10 @@ LatencySummary LatencyReservoir::summarize() const {
   return s;
 }
 
-void ServerMetrics::record_submitted() {
+void ServerMetrics::record_submitted(RequestKind kind) {
   std::lock_guard lock(mutex_);
   ++submitted_;
+  ++submitted_by_kind_[kind_index(kind)];
 }
 
 void ServerMetrics::record_rejected(ServeStatus status) {
@@ -102,9 +114,11 @@ void ServerMetrics::record_batch(std::size_t occupancy) {
   max_batch_occupancy_ = std::max(max_batch_occupancy_, occupancy);
 }
 
-void ServerMetrics::record_completed(double latency_seconds) {
+void ServerMetrics::record_completed(double latency_seconds,
+                                     RequestKind kind) {
   std::lock_guard lock(mutex_);
   ++completed_;
+  ++completed_by_kind_[kind_index(kind)];
   latencies_.record(latency_seconds);
 }
 
@@ -145,6 +159,8 @@ MetricsSnapshot ServerMetrics::snapshot() const {
     s.failed = failed_;
     s.cache_hits = cache_hits_;
     s.cache_misses = cache_misses_;
+    s.submitted_by_kind = submitted_by_kind_;
+    s.completed_by_kind = completed_by_kind_;
     s.queue_high_water = queue_high_water_;
     s.batches = batches_;
     s.max_batch_occupancy = max_batch_occupancy_;

@@ -8,6 +8,7 @@
 // copies everything out, so a live server can be observed at any time.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
@@ -16,6 +17,18 @@
 #include "serve/request.h"
 
 namespace dwi::serve {
+
+// Defined in serve/batch_scheduler.h (which includes this header); the
+// recorder only passes kinds through, so the forward declaration of the
+// fixed-base enum suffices.
+enum class RequestKind : std::uint8_t;
+
+/// Capacity of the per-kind counter arrays below. Deliberately a
+/// little above kNumRequestKinds (static_asserted in
+/// batch_scheduler.cpp) so growing the enum does not ripple through
+/// every snapshot consumer; index with static_cast<std::size_t>(kind)
+/// and name rows via to_string(RequestKind).
+inline constexpr std::size_t kMaxRequestKinds = 8;
 
 /// Order statistics over a latency sample set (nearest-rank
 /// percentiles, the convention load-testing tools report).
@@ -108,6 +121,12 @@ struct MetricsSnapshot {
   /// cache is disabled (ServeConfig::response_cache_entries == 0).
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  /// Per-RequestKind slices of `submitted` / `completed`, indexed by
+  /// static_cast<std::size_t>(kind) and named via to_string(kind) —
+  /// the observability the multi-workload zoo needs (which kinds a
+  /// shard actually serves). Sums equal the totals above.
+  std::array<std::uint64_t, kMaxRequestKinds> submitted_by_kind{};
+  std::array<std::uint64_t, kMaxRequestKinds> completed_by_kind{};
   std::size_t queue_high_water = 0;     ///< max observed admission depth
   std::uint64_t batches = 0;            ///< batches dispatched
   std::size_t max_batch_occupancy = 0;
@@ -121,12 +140,12 @@ struct MetricsSnapshot {
 
 class ServerMetrics {
  public:
-  void record_submitted();
+  void record_submitted(RequestKind kind);
   void record_rejected(ServeStatus status);
   /// `queue_depth`: admission queue occupancy right after the push.
   void record_admitted(std::size_t queue_depth);
   void record_batch(std::size_t occupancy);
-  void record_completed(double latency_seconds);
+  void record_completed(double latency_seconds, RequestKind kind);
   void record_failed(double latency_seconds);
   /// A cache hit also records submitted + completed (the caller
   /// observed both); this only bumps the hit counter itself.
@@ -151,6 +170,8 @@ class ServerMetrics {
   std::uint64_t failed_ = 0;
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
+  std::array<std::uint64_t, kMaxRequestKinds> submitted_by_kind_{};
+  std::array<std::uint64_t, kMaxRequestKinds> completed_by_kind_{};
   std::size_t queue_high_water_ = 0;
   std::uint64_t batches_ = 0;
   std::size_t max_batch_occupancy_ = 0;

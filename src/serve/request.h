@@ -19,6 +19,7 @@
 #include "common/error.h"
 #include "finance/portfolio.h"
 #include "rng/normal.h"
+#include "workloads/scheduling.h"
 
 namespace dwi::serve {
 
@@ -86,6 +87,80 @@ struct CreditRiskResult {
   double var95 = 0.0;   ///< VaR at 95%
   double var999 = 0.0;  ///< VaR at 99.9% (the regulatory quantile)
   double es999 = 0.0;   ///< expected shortfall beyond var999
+};
+
+// --- divergent-kernel zoo (src/workloads) ---------------------------------
+//
+// The zoo requests carry GENERATION PARAMETERS, not input data: the
+// server derives the update trace / matrix / edge list from the
+// request's own (server_seed, id) substream (slot 0 of the request's
+// block, the same slot gamma batches use), so the response — values
+// AND modeled cycle stats — stays a pure function of (server_seed,
+// request content) and joins the cross-shard determinism matrix. The
+// SchedulingMode knob moves cycles, never bytes of the payload.
+
+/// Cycle accounting echoed into every zoo response. Deterministic
+/// (derived from the trace, not from host timing), so it is part of
+/// the response's determinism contract like any other field.
+struct WorkloadStatsResult {
+  std::uint64_t cycles = 0;
+  std::uint64_t initiations = 0;
+  std::uint64_t hazard_stall_cycles = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t skipped = 0;
+};
+
+/// Hazard-aware histogram (workloads/histogram.h).
+struct HistogramRequest {
+  RequestId id = 0;
+  std::uint32_t num_updates = 0;  ///< must be in (0, max]
+  std::uint32_t num_bins = 256;   ///< must be in [1, max]
+  /// Fraction of updates hitting bin 0 — the RAW-collision knob.
+  float hot_fraction = 0.0f;      ///< must be in [0, 1]
+  workloads::SchedulingMode mode = workloads::SchedulingMode::kDynamic;
+};
+
+struct HistogramResult {
+  RequestId id = 0;
+  std::vector<float> bins;
+  std::uint64_t updates = 0;
+  WorkloadStatsResult stats;
+};
+
+/// CSR SpMV with data-dependent row trip counts (workloads/spmv.h);
+/// the matrix is square (cols == rows).
+struct SpmvRequest {
+  RequestId id = 0;
+  std::uint32_t rows = 0;          ///< must be in [1, max]
+  std::uint32_t nnz_per_row_min = 0;
+  std::uint32_t nnz_per_row_max = 8;  ///< >= min, <= max limit
+  workloads::SchedulingMode mode = workloads::SchedulingMode::kDynamic;
+};
+
+struct SpmvResult {
+  RequestId id = 0;
+  std::vector<float> y;
+  std::uint64_t nnz = 0;
+  WorkloadStatsResult stats;
+};
+
+/// Greedy maximal matching with a dynamically-modified loop bound
+/// (workloads/matching.h).
+struct MatchingRequest {
+  RequestId id = 0;
+  std::uint32_t num_vertices = 0;  ///< must be in [2, max]
+  std::uint32_t num_edges = 0;     ///< must be in (0, max]
+  /// Pair quota turning the loop bound dynamic (0 = full pass).
+  std::uint32_t target_pairs = 0;
+  workloads::SchedulingMode mode = workloads::SchedulingMode::kDynamic;
+};
+
+struct MatchingResult {
+  RequestId id = 0;
+  std::vector<std::int32_t> match;
+  std::uint32_t pairs = 0;
+  std::uint64_t edges_examined = 0;
+  WorkloadStatsResult stats;
 };
 
 }  // namespace dwi::serve

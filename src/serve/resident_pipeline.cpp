@@ -172,8 +172,9 @@ void ResidentPipeline::aggregator_loop() {
       res.var999 = dist.value_at_risk(0.999);
       res.es999 = dist.expected_shortfall(0.999);
       if (cache_) cache_->insert(job.req, res);
-      metrics_->record_completed(duration_seconds(
-          job.admitted_at, std::chrono::steady_clock::now()));
+      metrics_->record_completed(
+          duration_seconds(job.admitted_at, std::chrono::steady_clock::now()),
+          RequestKind::kCreditRisk);
       job.promise->set_value(res);
     } catch (...) {
       fail(std::current_exception());

@@ -14,58 +14,94 @@ ResponseCache::CreditKey ResponseCache::key_of(const CreditRiskRequest& req) {
   return {req.id, req.portfolio.get(), req.num_scenarios};
 }
 
+ResponseCache::HistogramKey ResponseCache::key_of(
+    const HistogramRequest& req) {
+  return {req.id, req.num_updates, req.num_bins, req.hot_fraction,
+          static_cast<int>(req.mode)};
+}
+
+ResponseCache::SpmvKey ResponseCache::key_of(const SpmvRequest& req) {
+  return {req.id, req.rows, req.nnz_per_row_min, req.nnz_per_row_max,
+          static_cast<int>(req.mode)};
+}
+
+ResponseCache::MatchingKey ResponseCache::key_of(const MatchingRequest& req) {
+  return {req.id, req.num_vertices, req.num_edges, req.target_pairs,
+          static_cast<int>(req.mode)};
+}
+
 bool ResponseCache::lookup(const GammaRequest& req, GammaResult* out) {
   if (max_entries_ == 0) return false;
   std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = gamma_.find(key_of(req));
-  if (it == gamma_.end()) return false;
-  *out = it->second;
-  return true;
+  return gamma_.find(key_of(req), out);
 }
 
 bool ResponseCache::lookup(const CreditRiskRequest& req,
                            CreditRiskResult* out) {
   if (max_entries_ == 0) return false;
   std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = credit_.find(key_of(req));
-  if (it == credit_.end()) return false;
-  *out = it->second.result;
+  CreditEntry entry;
+  if (!credit_.find(key_of(req), &entry)) return false;
+  *out = entry.result;
   return true;
+}
+
+bool ResponseCache::lookup(const HistogramRequest& req, HistogramResult* out) {
+  if (max_entries_ == 0) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return histogram_.find(key_of(req), out);
+}
+
+bool ResponseCache::lookup(const SpmvRequest& req, SpmvResult* out) {
+  if (max_entries_ == 0) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spmv_.find(key_of(req), out);
+}
+
+bool ResponseCache::lookup(const MatchingRequest& req, MatchingResult* out) {
+  if (max_entries_ == 0) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return matching_.find(key_of(req), out);
 }
 
 void ResponseCache::insert(const GammaRequest& req, const GammaResult& result) {
   if (max_entries_ == 0) return;
   std::lock_guard<std::mutex> lock(mutex_);
-  const GammaKey key = key_of(req);
-  const auto [it, inserted] = gamma_.insert_or_assign(key, result);
-  (void)it;
-  if (!inserted) return;  // overwrite keeps the original FIFO position
-  gamma_order_.push_back(key);
-  if (gamma_order_.size() > max_entries_) {
-    gamma_.erase(gamma_order_.front());
-    gamma_order_.pop_front();
-  }
+  gamma_.put(key_of(req), result, max_entries_);
 }
 
 void ResponseCache::insert(const CreditRiskRequest& req,
                            const CreditRiskResult& result) {
   if (max_entries_ == 0) return;
   std::lock_guard<std::mutex> lock(mutex_);
-  const CreditKey key = key_of(req);
-  const auto [it, inserted] =
-      credit_.insert_or_assign(key, CreditEntry{result, req.portfolio});
-  (void)it;
-  if (!inserted) return;
-  credit_order_.push_back(key);
-  if (credit_order_.size() > max_entries_) {
-    credit_.erase(credit_order_.front());
-    credit_order_.pop_front();
-  }
+  credit_.put(key_of(req), CreditEntry{result, req.portfolio}, max_entries_);
+}
+
+void ResponseCache::insert(const HistogramRequest& req,
+                           const HistogramResult& result) {
+  if (max_entries_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  histogram_.put(key_of(req), result, max_entries_);
+}
+
+void ResponseCache::insert(const SpmvRequest& req, const SpmvResult& result) {
+  if (max_entries_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  spmv_.put(key_of(req), result, max_entries_);
+}
+
+void ResponseCache::insert(const MatchingRequest& req,
+                           const MatchingResult& result) {
+  if (max_entries_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  matching_.put(key_of(req), result, max_entries_);
 }
 
 std::size_t ResponseCache::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return gamma_.size() + credit_.size();
+  return gamma_.entries.size() + credit_.entries.size() +
+         histogram_.entries.size() + spmv_.entries.size() +
+         matching_.entries.size();
 }
 
 }  // namespace dwi::serve

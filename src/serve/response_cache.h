@@ -44,7 +44,7 @@ namespace dwi::serve {
 
 class ResponseCache {
  public:
-  /// `max_entries` bounds each of the two kind-specific maps; 0 makes
+  /// `max_entries` bounds EACH of the kind-specific maps; 0 makes
   /// every lookup a miss and every insert a no-op (disabled).
   explicit ResponseCache(std::size_t max_entries);
 
@@ -52,6 +52,9 @@ class ResponseCache {
   /// result and the call returns true.
   bool lookup(const GammaRequest& req, GammaResult* out);
   bool lookup(const CreditRiskRequest& req, CreditRiskResult* out);
+  bool lookup(const HistogramRequest& req, HistogramResult* out);
+  bool lookup(const SpmvRequest& req, SpmvResult* out);
+  bool lookup(const MatchingRequest& req, MatchingResult* out);
 
   /// Record a computed response. Overwrites an existing entry for the
   /// same key (idempotent — the determinism contract guarantees the
@@ -59,9 +62,12 @@ class ResponseCache {
   /// once max_entries is reached.
   void insert(const GammaRequest& req, const GammaResult& result);
   void insert(const CreditRiskRequest& req, const CreditRiskResult& result);
+  void insert(const HistogramRequest& req, const HistogramResult& result);
+  void insert(const SpmvRequest& req, const SpmvResult& result);
+  void insert(const MatchingRequest& req, const MatchingResult& result);
 
   std::size_t max_entries() const { return max_entries_; }
-  std::size_t size() const;  ///< entries currently stored (both kinds)
+  std::size_t size() const;  ///< entries currently stored (all kinds)
 
  private:
   // Full request content, ordered — std::map keeps lookups exact and
@@ -69,9 +75,21 @@ class ResponseCache {
   using GammaKey = std::tuple<RequestId, float, float, std::uint32_t, int>;
   using CreditKey =
       std::tuple<RequestId, const finance::Portfolio*, std::uint64_t>;
+  // The zoo requests are generation parameters, so their full content
+  // fits a small tuple; SchedulingMode participates because it changes
+  // the response's cycle stats even though the payload bytes match.
+  using HistogramKey =
+      std::tuple<RequestId, std::uint32_t, std::uint32_t, float, int>;
+  using SpmvKey = std::tuple<RequestId, std::uint32_t, std::uint32_t,
+                             std::uint32_t, int>;
+  using MatchingKey = std::tuple<RequestId, std::uint32_t, std::uint32_t,
+                                 std::uint32_t, int>;
 
   static GammaKey key_of(const GammaRequest& req);
   static CreditKey key_of(const CreditRiskRequest& req);
+  static HistogramKey key_of(const HistogramRequest& req);
+  static SpmvKey key_of(const SpmvRequest& req);
+  static MatchingKey key_of(const MatchingRequest& req);
 
   struct CreditEntry {
     CreditRiskResult result;
@@ -80,12 +98,39 @@ class ResponseCache {
     std::shared_ptr<const finance::Portfolio> portfolio;
   };
 
+  /// One kind's exact-key store with FIFO eviction in insertion order.
+  template <typename Key, typename Entry>
+  struct KindStore {
+    std::map<Key, Entry> entries;
+    std::deque<Key> order;  ///< FIFO insertion order
+
+    bool find(const Key& key, Entry* out) const {
+      const auto it = entries.find(key);
+      if (it == entries.end()) return false;
+      *out = it->second;
+      return true;
+    }
+
+    void put(const Key& key, Entry entry, std::size_t max_entries) {
+      const auto [it, inserted] =
+          entries.insert_or_assign(key, std::move(entry));
+      (void)it;
+      if (!inserted) return;  // overwrite keeps the original FIFO position
+      order.push_back(key);
+      if (order.size() > max_entries) {
+        entries.erase(order.front());
+        order.pop_front();
+      }
+    }
+  };
+
   std::size_t max_entries_;
   mutable std::mutex mutex_;
-  std::map<GammaKey, GammaResult> gamma_;
-  std::deque<GammaKey> gamma_order_;  ///< FIFO insertion order
-  std::map<CreditKey, CreditEntry> credit_;
-  std::deque<CreditKey> credit_order_;
+  KindStore<GammaKey, GammaResult> gamma_;
+  KindStore<CreditKey, CreditEntry> credit_;
+  KindStore<HistogramKey, HistogramResult> histogram_;
+  KindStore<SpmvKey, SpmvResult> spmv_;
+  KindStore<MatchingKey, MatchingResult> matching_;
 };
 
 }  // namespace dwi::serve

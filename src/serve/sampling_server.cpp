@@ -10,6 +10,9 @@
 #include "common/error.h"
 #include "finance/creditrisk_plus.h"
 #include "rng/gamma.h"
+#include "workloads/histogram.h"
+#include "workloads/matching.h"
+#include "workloads/spmv.h"
 
 namespace dwi::serve {
 
@@ -28,6 +31,25 @@ std::uint64_t mix64(std::uint64_t x) {
 double duration_seconds(std::chrono::steady_clock::time_point from,
                         std::chrono::steady_clock::time_point to) {
   return std::chrono::duration<double>(to - from).count();
+}
+
+/// One uniform source over the request's slot-0 substream; exactly one
+/// of {mt, px} is consumed, selected once per request (same shape as
+/// the CreditRisk+ sector streams below).
+struct SlotSource {
+  std::optional<rng::MersenneTwister> mt;
+  std::optional<rng::Philox> px;
+  std::uint32_t operator()() { return px ? px->next() : mt->next(); }
+};
+
+WorkloadStatsResult to_stats_result(const workloads::WorkloadStats& s) {
+  WorkloadStatsResult r;
+  r.cycles = s.cycles;
+  r.initiations = s.initiations;
+  r.hazard_stall_cycles = s.hazard_stall_cycles;
+  r.forwarded = s.forwarded;
+  r.skipped = s.skipped;
+  return r;
 }
 
 }  // namespace
@@ -144,6 +166,50 @@ ServeStatus SamplingServer::validate(const CreditRiskRequest& req) const {
   return ServeStatus::kAdmitted;
 }
 
+ServeStatus SamplingServer::validate(const HistogramRequest& req) const {
+  if (req.num_updates == 0 || req.num_updates > cfg_.max_histogram_updates) {
+    return ServeStatus::kInvalidRequest;
+  }
+  if (req.num_bins == 0 || req.num_bins > cfg_.max_histogram_bins) {
+    return ServeStatus::kInvalidRequest;
+  }
+  if (!(req.hot_fraction >= 0.0f) || !(req.hot_fraction <= 1.0f) ||
+      !std::isfinite(req.hot_fraction)) {
+    return ServeStatus::kInvalidRequest;
+  }
+  if (req.id > (~std::uint64_t{0}) / cfg_.substreams_per_request - 1) {
+    return ServeStatus::kInvalidRequest;
+  }
+  return ServeStatus::kAdmitted;
+}
+
+ServeStatus SamplingServer::validate(const SpmvRequest& req) const {
+  if (req.rows == 0 || req.rows > cfg_.max_spmv_rows) {
+    return ServeStatus::kInvalidRequest;
+  }
+  if (req.nnz_per_row_min > req.nnz_per_row_max ||
+      req.nnz_per_row_max > cfg_.max_spmv_nnz_per_row) {
+    return ServeStatus::kInvalidRequest;
+  }
+  if (req.id > (~std::uint64_t{0}) / cfg_.substreams_per_request - 1) {
+    return ServeStatus::kInvalidRequest;
+  }
+  return ServeStatus::kAdmitted;
+}
+
+ServeStatus SamplingServer::validate(const MatchingRequest& req) const {
+  if (req.num_vertices < 2 || req.num_vertices > cfg_.max_matching_vertices) {
+    return ServeStatus::kInvalidRequest;
+  }
+  if (req.num_edges == 0 || req.num_edges > cfg_.max_matching_edges) {
+    return ServeStatus::kInvalidRequest;
+  }
+  if (req.id > (~std::uint64_t{0}) / cfg_.substreams_per_request - 1) {
+    return ServeStatus::kInvalidRequest;
+  }
+  return ServeStatus::kAdmitted;
+}
+
 GammaResult SamplingServer::compute(const GammaRequest& req) const {
   rng::GammaSampler sampler(rng::GammaConstants::make(req.alpha, req.scale),
                             req.transform);
@@ -212,8 +278,79 @@ CreditRiskResult SamplingServer::compute(const CreditRiskRequest& req) const {
   return res;
 }
 
+HistogramResult SamplingServer::compute(const HistogramRequest& req) const {
+  SlotSource src;
+  if (cfg_.stream_strategy == rng::StreamStrategy::kCounterBased) {
+    src.px.emplace(gamma_counter_stream(req.id));
+  } else {
+    src.mt.emplace(gamma_stream(req.id));
+  }
+  const workloads::HistogramTrace trace = workloads::make_histogram_trace(
+      req.num_updates, req.num_bins, req.hot_fraction, src);
+
+  workloads::HistogramConfig kcfg;
+  kcfg.num_bins = req.num_bins;
+  kcfg.mode = req.mode;
+  workloads::HistogramOutput out =
+      workloads::run_histogram(kcfg, trace.addrs, trace.weights);
+
+  HistogramResult res;
+  res.id = req.id;
+  res.bins = std::move(out.bins);
+  res.updates = req.num_updates;
+  res.stats = to_stats_result(out.stats);
+  return res;
+}
+
+SpmvResult SamplingServer::compute(const SpmvRequest& req) const {
+  SlotSource src;
+  if (cfg_.stream_strategy == rng::StreamStrategy::kCounterBased) {
+    src.px.emplace(gamma_counter_stream(req.id));
+  } else {
+    src.mt.emplace(gamma_stream(req.id));
+  }
+  const workloads::CsrMatrix matrix = workloads::make_spmv_matrix(
+      req.rows, req.rows, req.nnz_per_row_min, req.nnz_per_row_max, src);
+  const std::vector<float> x = workloads::make_dense_vector(req.rows, src);
+
+  workloads::SpmvConfig kcfg;
+  kcfg.mode = req.mode;
+  workloads::SpmvOutput out = workloads::run_spmv(kcfg, matrix, x);
+
+  SpmvResult res;
+  res.id = req.id;
+  res.y = std::move(out.y);
+  res.nnz = matrix.nnz();
+  res.stats = to_stats_result(out.stats);
+  return res;
+}
+
+MatchingResult SamplingServer::compute(const MatchingRequest& req) const {
+  SlotSource src;
+  if (cfg_.stream_strategy == rng::StreamStrategy::kCounterBased) {
+    src.px.emplace(gamma_counter_stream(req.id));
+  } else {
+    src.mt.emplace(gamma_stream(req.id));
+  }
+  const workloads::EdgeList graph =
+      workloads::make_edge_list(req.num_vertices, req.num_edges, src);
+
+  workloads::MatchingConfig kcfg;
+  kcfg.mode = req.mode;
+  kcfg.target_pairs = req.target_pairs;
+  workloads::MatchingOutput out = workloads::run_matching(kcfg, graph);
+
+  MatchingResult res;
+  res.id = req.id;
+  res.match = std::move(out.match);
+  res.pairs = out.pairs;
+  res.edges_examined = out.edges_examined;
+  res.stats = to_stats_result(out.stats);
+  return res;
+}
+
 template <typename Request, typename Result>
-bool SamplingServer::serve_from_cache(const Request& req,
+bool SamplingServer::serve_from_cache(RequestKind kind, const Request& req,
                                       std::future<Result>* out,
                                       bool* cache_hit) {
   if (!cache_) return false;
@@ -223,7 +360,7 @@ bool SamplingServer::serve_from_cache(const Request& req,
     return false;
   }
   metrics_.record_cache_hit();
-  metrics_.record_completed(0.0);  // answered in-line, nothing queued
+  metrics_.record_completed(0.0, kind);  // answered in-line, nothing queued
   std::promise<Result> promise;
   promise.set_value(std::move(cached));
   *out = promise.get_future();
@@ -235,13 +372,15 @@ template <typename Request, typename Result>
 ServeStatus SamplingServer::submit_impl(RequestKind kind, const Request& req,
                                         std::future<Result>* out,
                                         bool* cache_hit) {
-  metrics_.record_submitted();
+  metrics_.record_submitted(kind);
   const ServeStatus valid = validate(req);
   if (valid != ServeStatus::kAdmitted) {
     metrics_.record_rejected(valid);
     return valid;
   }
-  if (serve_from_cache(req, out, cache_hit)) return ServeStatus::kAdmitted;
+  if (serve_from_cache(kind, req, out, cache_hit)) {
+    return ServeStatus::kAdmitted;
+  }
 
   auto promise = std::make_shared<std::promise<Result>>();
   std::future<Result> future = promise->get_future();
@@ -255,12 +394,13 @@ ServeStatus SamplingServer::submit_impl(RequestKind kind, const Request& req,
   // outlives it because shutdown() drains before the server dies.
   // Metrics are recorded before the promise is fulfilled so a caller
   // that sees the future ready also sees the completion counted.
-  job.run = [this, req, promise, admitted_at] {
+  job.run = [this, kind, req, promise, admitted_at] {
     try {
       Result result = compute(req);
       if (cache_) cache_->insert(req, result);
-      metrics_.record_completed(duration_seconds(
-          admitted_at, std::chrono::steady_clock::now()));
+      metrics_.record_completed(
+          duration_seconds(admitted_at, std::chrono::steady_clock::now()),
+          kind);
       promise->set_value(std::move(result));
     } catch (...) {
       metrics_.record_failed(duration_seconds(
@@ -306,13 +446,15 @@ ServeStatus SamplingServer::try_submit(const CreditRiskRequest& req,
     // Resident chain: validated here, admitted straight onto the
     // pipeline's bounded admission pipe (same metrics protocol as the
     // scheduler path; completion is recorded by the aggregator kernel).
-    metrics_.record_submitted();
+    metrics_.record_submitted(RequestKind::kCreditRisk);
     const ServeStatus valid = validate(req);
     if (valid != ServeStatus::kAdmitted) {
       metrics_.record_rejected(valid);
       return valid;
     }
-    if (serve_from_cache(req, out, cache_hit)) return ServeStatus::kAdmitted;
+    if (serve_from_cache(RequestKind::kCreditRisk, req, out, cache_hit)) {
+      return ServeStatus::kAdmitted;
+    }
     const ServeStatus status = resident_->try_enqueue(req, out);
     if (status != ServeStatus::kAdmitted) {
       metrics_.record_rejected(status);
@@ -323,6 +465,33 @@ ServeStatus SamplingServer::try_submit(const CreditRiskRequest& req,
   }
   return submit_impl<CreditRiskRequest, CreditRiskResult>(
       RequestKind::kCreditRisk, req, out, cache_hit);
+}
+
+ServeStatus SamplingServer::try_submit(const HistogramRequest& req,
+                                       std::future<HistogramResult>* out,
+                                       bool* cache_hit) {
+  DWI_ASSERT(out != nullptr);
+  if (cache_hit) *cache_hit = false;
+  return submit_impl<HistogramRequest, HistogramResult>(
+      RequestKind::kHistogram, req, out, cache_hit);
+}
+
+ServeStatus SamplingServer::try_submit(const SpmvRequest& req,
+                                       std::future<SpmvResult>* out,
+                                       bool* cache_hit) {
+  DWI_ASSERT(out != nullptr);
+  if (cache_hit) *cache_hit = false;
+  return submit_impl<SpmvRequest, SpmvResult>(RequestKind::kSpmv, req, out,
+                                              cache_hit);
+}
+
+ServeStatus SamplingServer::try_submit(const MatchingRequest& req,
+                                       std::future<MatchingResult>* out,
+                                       bool* cache_hit) {
+  DWI_ASSERT(out != nullptr);
+  if (cache_hit) *cache_hit = false;
+  return submit_impl<MatchingRequest, MatchingResult>(RequestKind::kMatching,
+                                                      req, out, cache_hit);
 }
 
 std::future<GammaResult> SamplingServer::submit(const GammaRequest& req) {
@@ -347,11 +516,54 @@ std::future<CreditRiskResult> SamplingServer::submit(
   return f;
 }
 
+std::future<HistogramResult> SamplingServer::submit(
+    const HistogramRequest& req) {
+  std::future<HistogramResult> f;
+  const ServeStatus s = try_submit(req, &f);
+  if (s != ServeStatus::kAdmitted) {
+    throw RejectedError(
+        s, std::string("serve: histogram request rejected: ") + to_string(s));
+  }
+  return f;
+}
+
+std::future<SpmvResult> SamplingServer::submit(const SpmvRequest& req) {
+  std::future<SpmvResult> f;
+  const ServeStatus s = try_submit(req, &f);
+  if (s != ServeStatus::kAdmitted) {
+    throw RejectedError(
+        s, std::string("serve: spmv request rejected: ") + to_string(s));
+  }
+  return f;
+}
+
+std::future<MatchingResult> SamplingServer::submit(const MatchingRequest& req) {
+  std::future<MatchingResult> f;
+  const ServeStatus s = try_submit(req, &f);
+  if (s != ServeStatus::kAdmitted) {
+    throw RejectedError(
+        s, std::string("serve: matching request rejected: ") + to_string(s));
+  }
+  return f;
+}
+
 GammaResult SamplingServer::run(const GammaRequest& req) {
   return submit(req).get();
 }
 
 CreditRiskResult SamplingServer::run(const CreditRiskRequest& req) {
+  return submit(req).get();
+}
+
+HistogramResult SamplingServer::run(const HistogramRequest& req) {
+  return submit(req).get();
+}
+
+SpmvResult SamplingServer::run(const SpmvRequest& req) {
+  return submit(req).get();
+}
+
+MatchingResult SamplingServer::run(const MatchingRequest& req) {
   return submit(req).get();
 }
 

@@ -57,6 +57,15 @@ struct ServeConfig {
   /// Per-request limits (violations reject with kInvalidRequest).
   std::uint32_t max_gamma_count = 1u << 20;
   std::uint64_t max_scenarios = 1u << 20;
+  /// Divergent-kernel zoo limits (src/workloads). Sized so the largest
+  /// request's uniform consumption (2 draws per update/edge, 1+2·nnz
+  /// per row plus the dense vector) stays far below substream_stride.
+  std::uint32_t max_histogram_updates = 1u << 20;
+  std::uint32_t max_histogram_bins = 1u << 16;
+  std::uint32_t max_spmv_rows = 1u << 12;
+  std::uint32_t max_spmv_nnz_per_row = 64;
+  std::uint32_t max_matching_vertices = 1u << 16;
+  std::uint32_t max_matching_edges = 1u << 20;
 
   /// Substream indices reserved per request id: slot 0 for gamma, slots
   /// 1..substreams_per_request-1 for CreditRisk+ sectors (so a
@@ -144,13 +153,34 @@ class SamplingServer {
                          std::future<CreditRiskResult>* out,
                          bool* cache_hit);
 
+  /// Divergent-kernel zoo admission (src/workloads): identical
+  /// contract. The input trace is derived from the request's slot-0
+  /// substream — the one gamma_stream()/gamma_counter_stream() expose —
+  /// so responses (payload and cycle stats) are pure functions of
+  /// (server_seed, request content).
+  ServeStatus try_submit(const HistogramRequest& req,
+                         std::future<HistogramResult>* out,
+                         bool* cache_hit = nullptr);
+  ServeStatus try_submit(const SpmvRequest& req,
+                         std::future<SpmvResult>* out,
+                         bool* cache_hit = nullptr);
+  ServeStatus try_submit(const MatchingRequest& req,
+                         std::future<MatchingResult>* out,
+                         bool* cache_hit = nullptr);
+
   /// Throwing wrappers: return the future or throw RejectedError.
   std::future<GammaResult> submit(const GammaRequest& req);
   std::future<CreditRiskResult> submit(const CreditRiskRequest& req);
+  std::future<HistogramResult> submit(const HistogramRequest& req);
+  std::future<SpmvResult> submit(const SpmvRequest& req);
+  std::future<MatchingResult> submit(const MatchingRequest& req);
 
   /// Synchronous convenience: submit and wait.
   GammaResult run(const GammaRequest& req);
   CreditRiskResult run(const CreditRiskRequest& req);
+  HistogramResult run(const HistogramRequest& req);
+  SpmvResult run(const SpmvRequest& req);
+  MatchingResult run(const MatchingRequest& req);
 
   /// Stop admitting, drain every admitted request, fulfill every
   /// accepted future. Idempotent.
@@ -186,8 +216,14 @@ class SamplingServer {
  private:
   ServeStatus validate(const GammaRequest& req) const;
   ServeStatus validate(const CreditRiskRequest& req) const;
+  ServeStatus validate(const HistogramRequest& req) const;
+  ServeStatus validate(const SpmvRequest& req) const;
+  ServeStatus validate(const MatchingRequest& req) const;
   GammaResult compute(const GammaRequest& req) const;
   CreditRiskResult compute(const CreditRiskRequest& req) const;
+  HistogramResult compute(const HistogramRequest& req) const;
+  SpmvResult compute(const SpmvRequest& req) const;
+  MatchingResult compute(const MatchingRequest& req) const;
 
   template <typename Request, typename Result>
   ServeStatus submit_impl(RequestKind kind, const Request& req,
@@ -198,8 +234,8 @@ class SamplingServer {
   /// admitted), sets *cache_hit. Returns false (recording a miss) when
   /// the cache is enabled but cold; no-op false when disabled.
   template <typename Request, typename Result>
-  bool serve_from_cache(const Request& req, std::future<Result>* out,
-                        bool* cache_hit);
+  bool serve_from_cache(RequestKind kind, const Request& req,
+                        std::future<Result>* out, bool* cache_hit);
 
   ServeConfig cfg_;
   rng::SubstreamSplitter splitter_;      ///< kJumpAhead derivation

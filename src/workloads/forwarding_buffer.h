@@ -1,0 +1,89 @@
+// ForwardingBuffer: runtime hazard resolution for address collisions —
+// the dynamic-scheduling counterpart of core/delayed_counter.h.
+//
+// DelayedCounter breaks the *rejection-shaped* recurrence of Listing 2
+// (the loop exit reads a counter written by the previous iteration) by
+// comparing against a delayed register copy. The zoo's kernels have a
+// different recurrence: a read-modify-write against a data-dependent
+// ADDRESS (histogram bin, matching endpoint). A static scheduler must
+// assume every iteration collides with the one in flight and spaces
+// them by the full RMW chain latency; a dynamic scheduler instead keeps
+// the last `depth` in-flight addresses in a shift register, snoops each
+// new address against them, and only when a real collision is found
+// stalls long enough to forward the in-flight value from the adder
+// bypass instead of waiting for the store to retire.
+//
+// This class is that shift register plus its snoop port, kept
+// kernel-agnostic so histogram (one address per update) and maximal
+// matching (two endpoints per edge) share one implementation. push()
+// advances the window by one issued update; push_bubble() advances it
+// by one stall/idle cycle so entries age out on real time, not on
+// update count.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/error.h"
+
+namespace dwi::workloads {
+
+template <typename Addr = std::uint32_t>
+class ForwardingBuffer {
+ public:
+  /// Sentinel occupying empty slots; never matches a snoop because
+  /// callers' address spaces are required to stay below it.
+  static constexpr Addr kIdle = std::numeric_limits<Addr>::max();
+
+  /// `depth`: how many cycles an update stays in flight (the RMW chain
+  /// latency minus the one cycle the forward path needs).
+  explicit ForwardingBuffer(unsigned depth) : slots_(depth, kIdle) {
+    DWI_REQUIRE(depth >= 1, "forwarding buffer needs at least one slot");
+  }
+
+  /// Snoop `addr` against every in-flight update. True means the value
+  /// must be forwarded (a RAW hazard would fire).
+  bool snoop(Addr addr) {
+    ++snoops_;
+    for (const Addr in_flight : slots_) {
+      if (in_flight == addr) {
+        ++hits_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Shift the window by one cycle that issued an update to `addr`.
+  void push(Addr addr) {
+    DWI_ASSERT(addr != kIdle);
+    shift(addr);
+  }
+
+  /// Shift the window by one cycle that issued nothing (stall, starved
+  /// input, or a skipped iteration) — in-flight updates keep retiring.
+  void push_bubble() { shift(kIdle); }
+
+  unsigned depth() const { return static_cast<unsigned>(slots_.size()); }
+  std::uint64_t snoops() const { return snoops_; }
+  std::uint64_t hits() const { return hits_; }
+
+  void reset() {
+    for (Addr& s : slots_) s = kIdle;
+    snoops_ = 0;
+    hits_ = 0;
+  }
+
+ private:
+  void shift(Addr incoming) {
+    for (std::size_t j = slots_.size(); j-- > 1;) slots_[j] = slots_[j - 1];
+    slots_[0] = incoming;
+  }
+
+  std::vector<Addr> slots_;  ///< fully partitioned shift register in HLS
+  std::uint64_t snoops_ = 0;
+  std::uint64_t hits_ = 0;
+};
+
+}  // namespace dwi::workloads

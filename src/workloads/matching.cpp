@@ -1,0 +1,133 @@
+#include "workloads/matching.h"
+
+#include <optional>
+
+#include "common/error.h"
+#include "core/delayed_counter.h"
+#include "workloads/forwarding_buffer.h"
+
+namespace dwi::workloads {
+
+namespace {
+
+void check_graph(const EdgeList& g) {
+  DWI_REQUIRE(g.num_vertices >= 1, "matching: need at least one vertex");
+  DWI_REQUIRE(g.u.size() == g.v.size(),
+              "matching: endpoint arrays must have equal length");
+  for (std::size_t i = 0; i < g.u.size(); ++i) {
+    DWI_REQUIRE(g.u[i] < g.num_vertices && g.v[i] < g.num_vertices,
+                "matching: endpoint out of range");
+  }
+}
+
+}  // namespace
+
+MatchingOutput matching_oracle(const EdgeList& g,
+                               std::uint32_t target_pairs) {
+  check_graph(g);
+  MatchingOutput out;
+  out.match.assign(g.num_vertices, -1);
+  for (std::size_t i = 0; i < g.u.size(); ++i) {
+    if (target_pairs > 0 && out.pairs >= target_pairs) break;
+    ++out.edges_examined;
+    const std::uint32_t a = g.u[i];
+    const std::uint32_t b = g.v[i];
+    if (a != b && out.match[a] < 0 && out.match[b] < 0) {
+      out.match[a] = static_cast<std::int32_t>(b);
+      out.match[b] = static_cast<std::int32_t>(a);
+      ++out.pairs;
+    }
+  }
+  return out;
+}
+
+MatchingOutput run_matching(const MatchingConfig& cfg, const EdgeList& g) {
+  DWI_REQUIRE(cfg.chain_latency >= 1, "matching: chain latency >= 1");
+  DWI_REQUIRE(cfg.forward_stall >= 1 &&
+                  cfg.forward_stall < cfg.chain_latency,
+              "matching: forward stall must be in [1, chain_latency)");
+  check_graph(g);
+
+  MatchingOutput out;
+  out.match.assign(g.num_vertices, -1);
+  WorkloadStats& stats = out.stats;
+
+  const bool quota = cfg.target_pairs > 0;
+  core::DelayedCounter pairs_counter(cfg.break_id);
+
+  // One in-flight window per endpoint lane: edge i's reads must snoop
+  // both writes of any accepted edge still in the chain.
+  const unsigned window =
+      cfg.chain_latency > 1 ? cfg.chain_latency - 1 : 0;
+  std::optional<ForwardingBuffer<std::uint32_t>> fb_u;
+  std::optional<ForwardingBuffer<std::uint32_t>> fb_v;
+  if (cfg.mode == SchedulingMode::kDynamic && window > 0) {
+    fb_u.emplace(window);
+    fb_v.emplace(window);
+  }
+
+  for (std::size_t i = 0; i < g.u.size(); ++i) {
+    // Listing 2's shape: the exit reads the DELAYED pair count, so the
+    // comparison never waits on this iteration's increment.
+    pairs_counter.update_registers();
+    if (quota && pairs_counter.delayed_value() >= cfg.target_pairs) break;
+
+    ++out.edges_examined;
+    ++stats.initiations;
+    const std::uint32_t a = g.u[i];
+    const std::uint32_t b = g.v[i];
+    // Guarded write: the LIVE count gates the store, so the delayed
+    // exit's overrun iterations can never take an extra pair.
+    const bool take = a != b && out.match[a] < 0 && out.match[b] < 0 &&
+                      (!quota || pairs_counter.value() < cfg.target_pairs);
+
+    if (cfg.mode == SchedulingMode::kStatic) {
+      // Conservative schedule: every edge, skips included, is assumed
+      // to read what the edge ahead of it wrote.
+      stats.cycles += cfg.chain_latency;
+      stats.hazard_stall_cycles += cfg.chain_latency - 1;
+    } else {
+      stats.cycles += 1;
+      bool collide = false;
+      if (fb_u) {
+        // Snoop both endpoints against both in-flight write lanes
+        // (bitwise | keeps all four snoops counted).
+        collide = static_cast<bool>(
+            static_cast<unsigned>(fb_u->snoop(a)) |
+            static_cast<unsigned>(fb_v->snoop(a)) |
+            static_cast<unsigned>(fb_u->snoop(b)) |
+            static_cast<unsigned>(fb_v->snoop(b)));
+        if (take) {
+          fb_u->push(a);
+          fb_v->push(b);
+        } else {
+          fb_u->push_bubble();
+          fb_v->push_bubble();
+        }
+      }
+      if (collide) {
+        ++stats.forwarded;
+        stats.cycles += cfg.forward_stall;
+        stats.hazard_stall_cycles += cfg.forward_stall;
+        if (fb_u) {
+          for (unsigned s = 0; s < cfg.forward_stall; ++s) {
+            fb_u->push_bubble();
+            fb_v->push_bubble();
+          }
+        }
+      }
+    }
+
+    if (take) {
+      out.match[a] = static_cast<std::int32_t>(b);
+      out.match[b] = static_cast<std::int32_t>(a);
+      pairs_counter.increment();
+    } else {
+      ++stats.skipped;  // the dynamic early exit: retire, write nothing
+    }
+  }
+  out.pairs = pairs_counter.value();
+  return out;
+}
+
+}  // namespace dwi::workloads

@@ -1,0 +1,84 @@
+// Greedy maximal matching over an edge list — the zoo's closest
+// analogue of the paper's dynamically-modified loop bound.
+//
+// The kernel walks the edge list once: an edge whose endpoints are both
+// unmatched is taken (match[u] = v, match[v] = u), anything else is
+// skipped. Two data-dependent mechanisms shape the schedule:
+//   * the match[] array is a RAW hazard — an edge may read an endpoint
+//     written by the edge in flight ahead of it (two ForwardingBuffer
+//     windows, one per endpoint lane, resolve it under kDynamic);
+//   * an optional pair quota turns the loop bound dynamic, exactly
+//     Listing 2's shape: the exit compares a core::DelayedCounter's
+//     DELAYED pair count (II = 1 despite the count being written in the
+//     same iteration), while the match write is guarded by the LIVE
+//     count — the kernel may examine up to break_id+1 extra edges after
+//     the quota fills, but can never take one, so the result is
+//     bit-identical to the oracle that stops exactly on quota.
+//   kStatic  — every edge is spaced by chain_latency: the scheduler
+//     must assume it reads what the previous edge wrote, skips
+//     included.
+//   kDynamic — edges issue at II = 1; skipped edges (the dynamic early
+//     exit) retire in one cycle, and only a real endpoint collision
+//     pays the forward_stall bubble.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/scheduling.h"
+
+namespace dwi::workloads {
+
+struct EdgeList {
+  std::uint32_t num_vertices = 0;
+  std::vector<std::uint32_t> u;  ///< endpoint a of edge i, < num_vertices
+  std::vector<std::uint32_t> v;  ///< endpoint b of edge i, < num_vertices
+};
+
+struct MatchingConfig {
+  SchedulingMode mode = SchedulingMode::kDynamic;
+  /// Cycles of the match[] read→compare→store chain.
+  unsigned chain_latency = 4;
+  /// Bubble cycles a forwarded endpoint collision costs under kDynamic.
+  unsigned forward_stall = 1;
+  /// Stop once this many pairs are matched (0 = no quota, full pass).
+  /// With a quota the loop exit is the dynamically-modified bound.
+  std::uint32_t target_pairs = 0;
+  /// DelayedCounter delay registers for the quota exit (Listing 2's
+  /// breakId); only meaningful when target_pairs > 0.
+  unsigned break_id = 0;
+};
+
+struct MatchingOutput {
+  std::vector<std::int32_t> match;  ///< partner vertex, -1 if unmatched
+  std::uint32_t pairs = 0;
+  /// Edges the kernel looked at (under a quota this may exceed the
+  /// oracle's count by up to break_id+1 harmless iterations).
+  std::uint64_t edges_examined = 0;
+  WorkloadStats stats;
+};
+
+MatchingOutput run_matching(const MatchingConfig& cfg, const EdgeList& g);
+
+/// Scalar host oracle: the same greedy pass, stopping exactly when
+/// `target_pairs` is reached (0 = full pass). Stats stay zero.
+MatchingOutput matching_oracle(const EdgeList& g,
+                               std::uint32_t target_pairs = 0);
+
+/// Deterministic edge list from a uniform u32 source — two draws per
+/// edge. Self-loops may occur and are skipped by the kernel.
+template <typename NextU32>
+EdgeList make_edge_list(std::uint32_t vertices, std::uint32_t edges,
+                        NextU32&& next) {
+  EdgeList g;
+  g.num_vertices = vertices;
+  g.u.reserve(edges);
+  g.v.reserve(edges);
+  for (std::uint32_t i = 0; i < edges; ++i) {
+    g.u.push_back(next() % vertices);
+    g.v.push_back(next() % vertices);
+  }
+  return g;
+}
+
+}  // namespace dwi::workloads

@@ -1,0 +1,21 @@
+#include "workloads/scheduling.h"
+
+namespace dwi::workloads {
+
+const char* to_string(SchedulingMode mode) {
+  switch (mode) {
+    case SchedulingMode::kStatic:
+      return "static";
+    case SchedulingMode::kDynamic:
+      return "dynamic";
+  }
+  return "unknown";
+}
+
+std::optional<SchedulingMode> parse_scheduling_mode(std::string_view name) {
+  if (name == "static") return SchedulingMode::kStatic;
+  if (name == "dynamic") return SchedulingMode::kDynamic;
+  return std::nullopt;
+}
+
+}  // namespace dwi::workloads

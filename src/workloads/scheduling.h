@@ -1,0 +1,73 @@
+// Scheduling-mode axis and cycle accounting of the divergent-kernel
+// zoo (src/workloads).
+//
+// The zoo reproduces the static_sched/dynamic_sched split of the
+// sycl-playground catalogue the ROADMAP names: every kernel computes
+// the SAME values either way (the host oracle pins that), but its
+// cycle cost is modeled under two schedulers —
+//   kStatic  — the conservative HLS default. The scheduler must prove
+//     at compile time that a loop-carried dependency cannot fire, and
+//     for data-dependent addresses / trip counts it cannot, so every
+//     iteration is spaced by the worst-case dependency chain latency
+//     (II = chain latency) and variable-bound inner loops drain the
+//     pipeline at each boundary.
+//   kDynamic — a dynamically scheduled pipeline (the paper's decoupled
+//     work-item discipline): iterations issue at II = 1 and a runtime
+//     hazard unit (workloads/forwarding_buffer.h) stalls only when a
+//     dependency ACTUALLY fires, paying a short forward penalty
+//     instead of the full chain latency.
+//
+// WorkloadStats separates where the cycles went — hazard stalls,
+// inter-work-item pipe stalls, early-exit iterations — so the benches
+// can show not just that dynamic wins but why.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace dwi::workloads {
+
+enum class SchedulingMode {
+  kStatic,   ///< conservative static II (worst-case dependency spacing)
+  kDynamic,  ///< II=1 with runtime hazard resolution (forwarding)
+};
+
+const char* to_string(SchedulingMode mode);
+
+/// Round-trip parse of to_string(); nullopt on unknown names.
+std::optional<SchedulingMode> parse_scheduling_mode(std::string_view name);
+
+/// Cycle-level accounting of one kernel run. Deterministic: a pure
+/// function of (config, input trace), never of host timing.
+struct WorkloadStats {
+  std::uint64_t cycles = 0;       ///< total modeled kernel cycles
+  std::uint64_t initiations = 0;  ///< iterations issued into the pipeline
+  /// Cycles lost to the dependency chain: conservative II spacing under
+  /// kStatic, forward-penalty bubbles on real collisions under kDynamic.
+  std::uint64_t hazard_stall_cycles = 0;
+  /// Collisions resolved by the forwarding network (kDynamic only).
+  std::uint64_t forwarded = 0;
+  /// Producer-side cycles blocked on a full inter-work-item stream.
+  std::uint64_t pipe_full_stall_cycles = 0;
+  /// Consumer-side cycles starved by an empty inter-work-item stream.
+  std::uint64_t pipe_empty_stall_cycles = 0;
+  /// Iterations retired through a dynamic early exit (matched edge
+  /// skipped, quota reached) rather than full-cost execution.
+  std::uint64_t skipped = 0;
+
+  /// Mean initiation interval actually achieved.
+  double achieved_ii() const {
+    return initiations == 0
+               ? 0.0
+               : static_cast<double>(cycles) / static_cast<double>(initiations);
+  }
+
+  /// Modeled wall time of this run at a device clock.
+  double seconds_at(double clock_hz) const {
+    return clock_hz <= 0.0 ? 0.0
+                           : static_cast<double>(cycles) / clock_hz;
+  }
+};
+
+}  // namespace dwi::workloads

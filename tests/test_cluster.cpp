@@ -50,29 +50,63 @@ std::shared_ptr<const finance::Portfolio> test_portfolio() {
   return portfolio;
 }
 
+/// One matrix item — any of the five request kinds, discriminated the
+/// same way the scheduler does.
 struct RequestItem {
-  bool is_gamma = true;
+  serve::RequestKind kind = serve::RequestKind::kGamma;
   serve::GammaRequest gamma;
   serve::CreditRiskRequest credit;
+  serve::HistogramRequest histogram;
+  serve::SpmvRequest spmv;
+  serve::MatchingRequest matching;
 };
 
-/// Mixed gamma / CreditRisk+ set with ids spread enough for the hash
-/// ring to scatter them across shards.
+/// Mixed set over ALL FIVE request kinds with ids spread enough for
+/// the hash ring to scatter them across shards. The zoo kinds ride the
+/// same matrix cells as gamma/CreditRisk+ — placement must be
+/// invisible in their payloads AND their cycle stats.
 std::vector<RequestItem> mixed_request_set() {
   const float alphas[3] = {0.72f, 1.5f, 4.0f};
   std::vector<RequestItem> items;
-  for (std::size_t i = 0; i < 18; ++i) {
+  for (std::size_t i = 0; i < 24; ++i) {
     RequestItem item;
-    if (i % 3 == 2) {
-      item.is_gamma = false;
-      item.credit.id = 1000 + i * 17;
-      item.credit.portfolio = test_portfolio();
-      item.credit.num_scenarios = 48;
-    } else {
-      item.gamma.id = 1000 + i * 17;
-      item.gamma.alpha = alphas[i % 3];
-      item.gamma.scale = 1.39f;
-      item.gamma.count = 129;  // off a block boundary on purpose
+    const serve::RequestId id = 1000 + i * 17;
+    switch (i % 6) {
+      case 2:
+        item.kind = serve::RequestKind::kCreditRisk;
+        item.credit.id = id;
+        item.credit.portfolio = test_portfolio();
+        item.credit.num_scenarios = 48;
+        break;
+      case 3:
+        item.kind = serve::RequestKind::kHistogram;
+        item.histogram.id = id;
+        item.histogram.num_updates = 600;
+        item.histogram.num_bins = 64;
+        item.histogram.hot_fraction = 0.3f;
+        if (i % 2 == 1) {
+          item.histogram.mode = workloads::SchedulingMode::kStatic;
+        }
+        break;
+      case 4:
+        item.kind = serve::RequestKind::kSpmv;
+        item.spmv.id = id;
+        item.spmv.rows = 96;
+        item.spmv.nnz_per_row_max = 5;
+        break;
+      case 5:
+        item.kind = serve::RequestKind::kMatching;
+        item.matching.id = id;
+        item.matching.num_vertices = 120;
+        item.matching.num_edges = 300;
+        item.matching.target_pairs = (i % 4 == 1) ? 20u : 0u;
+        break;
+      default:
+        item.gamma.id = id;
+        item.gamma.alpha = alphas[i % 3];
+        item.gamma.scale = 1.39f;
+        item.gamma.count = 129;  // off a block boundary on purpose
+        break;
     }
     items.push_back(item);
   }
@@ -82,47 +116,106 @@ std::vector<RequestItem> mixed_request_set() {
 struct ServedResults {
   std::vector<serve::GammaResult> gamma;        // by set position
   std::vector<serve::CreditRiskResult> credit;  // by set position
+  std::vector<serve::HistogramResult> histogram;
+  std::vector<serve::SpmvResult> spmv;
+  std::vector<serve::MatchingResult> matching;
 };
 
 ServedResults serve_set(serve::ShardedSamplingServer& cluster,
                         const std::vector<RequestItem>& items) {
   std::vector<std::future<serve::GammaResult>> gf(items.size());
   std::vector<std::future<serve::CreditRiskResult>> cf(items.size());
+  std::vector<std::future<serve::HistogramResult>> hf(items.size());
+  std::vector<std::future<serve::SpmvResult>> sf(items.size());
+  std::vector<std::future<serve::MatchingResult>> mf(items.size());
   for (std::size_t i = 0; i < items.size(); ++i) {
-    if (items[i].is_gamma) {
-      gf[i] = cluster.submit(items[i].gamma);
-    } else {
-      cf[i] = cluster.submit(items[i].credit);
+    switch (items[i].kind) {
+      case serve::RequestKind::kGamma:
+        gf[i] = cluster.submit(items[i].gamma);
+        break;
+      case serve::RequestKind::kCreditRisk:
+        cf[i] = cluster.submit(items[i].credit);
+        break;
+      case serve::RequestKind::kHistogram:
+        hf[i] = cluster.submit(items[i].histogram);
+        break;
+      case serve::RequestKind::kSpmv:
+        sf[i] = cluster.submit(items[i].spmv);
+        break;
+      case serve::RequestKind::kMatching:
+        mf[i] = cluster.submit(items[i].matching);
+        break;
     }
   }
   ServedResults out;
   out.gamma.resize(items.size());
   out.credit.resize(items.size());
+  out.histogram.resize(items.size());
+  out.spmv.resize(items.size());
+  out.matching.resize(items.size());
   for (std::size_t i = 0; i < items.size(); ++i) {
-    if (items[i].is_gamma) {
-      out.gamma[i] = gf[i].get();
-    } else {
-      out.credit[i] = cf[i].get();
+    switch (items[i].kind) {
+      case serve::RequestKind::kGamma: out.gamma[i] = gf[i].get(); break;
+      case serve::RequestKind::kCreditRisk: out.credit[i] = cf[i].get(); break;
+      case serve::RequestKind::kHistogram:
+        out.histogram[i] = hf[i].get();
+        break;
+      case serve::RequestKind::kSpmv: out.spmv[i] = sf[i].get(); break;
+      case serve::RequestKind::kMatching:
+        out.matching[i] = mf[i].get();
+        break;
     }
   }
   return out;
 }
 
+void expect_identical_stats(const serve::WorkloadStatsResult& a,
+                            const serve::WorkloadStatsResult& b) {
+  // Cycle accounting is part of the response, so it is held to the
+  // same bit-identity bar as the payload.
+  ASSERT_EQ(a.cycles, b.cycles);
+  ASSERT_EQ(a.initiations, b.initiations);
+  ASSERT_EQ(a.hazard_stall_cycles, b.hazard_stall_cycles);
+  ASSERT_EQ(a.forwarded, b.forwarded);
+  ASSERT_EQ(a.skipped, b.skipped);
+}
+
 void expect_identical(const ServedResults& a, const ServedResults& b,
                       const std::vector<RequestItem>& items) {
   for (std::size_t i = 0; i < items.size(); ++i) {
-    if (items[i].is_gamma) {
-      ASSERT_EQ(a.gamma[i].id, b.gamma[i].id);
-      ASSERT_EQ(a.gamma[i].attempts, b.gamma[i].attempts);
-      // Bit-identity: the float vectors must match exactly.
-      ASSERT_EQ(a.gamma[i].samples, b.gamma[i].samples) << "request " << i;
-    } else {
-      ASSERT_EQ(a.credit[i].id, b.credit[i].id);
-      ASSERT_EQ(a.credit[i].mean, b.credit[i].mean) << "request " << i;
-      ASSERT_EQ(a.credit[i].variance, b.credit[i].variance);
-      ASSERT_EQ(a.credit[i].var95, b.credit[i].var95);
-      ASSERT_EQ(a.credit[i].var999, b.credit[i].var999);
-      ASSERT_EQ(a.credit[i].es999, b.credit[i].es999);
+    SCOPED_TRACE(::testing::Message()
+                 << "request " << i << " kind="
+                 << serve::to_string(items[i].kind));
+    switch (items[i].kind) {
+      case serve::RequestKind::kGamma:
+        ASSERT_EQ(a.gamma[i].id, b.gamma[i].id);
+        ASSERT_EQ(a.gamma[i].attempts, b.gamma[i].attempts);
+        // Bit-identity: the float vectors must match exactly.
+        ASSERT_EQ(a.gamma[i].samples, b.gamma[i].samples);
+        break;
+      case serve::RequestKind::kCreditRisk:
+        ASSERT_EQ(a.credit[i].id, b.credit[i].id);
+        ASSERT_EQ(a.credit[i].mean, b.credit[i].mean);
+        ASSERT_EQ(a.credit[i].variance, b.credit[i].variance);
+        ASSERT_EQ(a.credit[i].var95, b.credit[i].var95);
+        ASSERT_EQ(a.credit[i].var999, b.credit[i].var999);
+        ASSERT_EQ(a.credit[i].es999, b.credit[i].es999);
+        break;
+      case serve::RequestKind::kHistogram:
+        ASSERT_EQ(a.histogram[i].bins, b.histogram[i].bins);
+        expect_identical_stats(a.histogram[i].stats, b.histogram[i].stats);
+        break;
+      case serve::RequestKind::kSpmv:
+        ASSERT_EQ(a.spmv[i].y, b.spmv[i].y);
+        ASSERT_EQ(a.spmv[i].nnz, b.spmv[i].nnz);
+        expect_identical_stats(a.spmv[i].stats, b.spmv[i].stats);
+        break;
+      case serve::RequestKind::kMatching:
+        ASSERT_EQ(a.matching[i].match, b.matching[i].match);
+        ASSERT_EQ(a.matching[i].pairs, b.matching[i].pairs);
+        ASSERT_EQ(a.matching[i].edges_examined, b.matching[i].edges_examined);
+        expect_identical_stats(a.matching[i].stats, b.matching[i].stats);
+        break;
     }
   }
 }

@@ -35,6 +35,9 @@
 #include "serve/batch_scheduler.h"
 #include "serve/metrics.h"
 #include "serve/sampling_server.h"
+#include "workloads/histogram.h"
+#include "workloads/matching.h"
+#include "workloads/spmv.h"
 
 namespace dwi {
 namespace {
@@ -816,7 +819,8 @@ TEST(ServeMetrics, RecorderStorageStaysBoundedUnderLoad) {
   serve::ServerMetrics metrics;
   const std::size_t n = serve::LatencyReservoir::kDefaultCapacity + 5'000;
   for (std::size_t i = 0; i < n; ++i) {
-    metrics.record_completed(1e-6 * static_cast<double>(i + 1));
+    metrics.record_completed(1e-6 * static_cast<double>(i + 1),
+                             serve::RequestKind::kGamma);
   }
   EXPECT_EQ(metrics.latency_samples_stored(),
             serve::LatencyReservoir::kDefaultCapacity);
@@ -978,6 +982,255 @@ TEST(ServeCache, FifoEvictionKeepsTheCacheBounded) {
   const serve::MetricsSnapshot m = server.metrics();
   EXPECT_EQ(m.cache_hits, 1u);
   EXPECT_EQ(m.cache_misses, 4u);
+}
+
+// ---------------------------------------------------------------------
+// Divergent-kernel zoo request kinds (src/workloads via serve)
+// ---------------------------------------------------------------------
+
+TEST(ServeKinds, RequestKindNamesRoundTrip) {
+  for (std::size_t i = 0; i < serve::kNumRequestKinds; ++i) {
+    const auto kind = static_cast<serve::RequestKind>(i);
+    const auto parsed = serve::parse_request_kind(serve::to_string(kind));
+    ASSERT_TRUE(parsed.has_value()) << serve::to_string(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(serve::parse_request_kind("poisson").has_value());
+  EXPECT_FALSE(serve::parse_request_kind("").has_value());
+  EXPECT_FALSE(serve::parse_request_kind("unknown").has_value());
+}
+
+TEST(ServeZoo, HistogramResponseIsReproducibleOffline) {
+  serve::ServeConfig cfg;
+  cfg.server_seed = 2024;
+  serve::SamplingServer server(cfg);
+
+  serve::HistogramRequest req;
+  req.id = 9;
+  req.num_updates = 3000;
+  req.num_bins = 128;
+  req.hot_fraction = 0.4f;
+  const serve::HistogramResult res = server.run(req);
+
+  // Offline: replay the request's slot-0 substream through the same
+  // trace generator and kernel — no server required.
+  rng::MersenneTwister mt = server.gamma_stream(req.id);
+  const workloads::HistogramTrace trace = workloads::make_histogram_trace(
+      req.num_updates, req.num_bins, req.hot_fraction,
+      [&mt] { return mt.next(); });
+  workloads::HistogramConfig kcfg;
+  kcfg.num_bins = req.num_bins;
+  kcfg.mode = req.mode;
+  const workloads::HistogramOutput offline =
+      workloads::run_histogram(kcfg, trace.addrs, trace.weights);
+
+  ASSERT_EQ(res.bins, offline.bins);
+  EXPECT_EQ(res.stats.cycles, offline.stats.cycles);
+  EXPECT_EQ(res.stats.forwarded, offline.stats.forwarded);
+}
+
+TEST(ServeZoo, ResponsesAreIdenticalAcrossServersAndBatching) {
+  serve::ServeConfig base;
+  base.server_seed = 404;
+  serve::ServeConfig unbatched = base;
+  unbatched.batching = false;
+  serve::SamplingServer a(base), b(unbatched);
+
+  serve::HistogramRequest hreq;
+  hreq.id = 1;
+  hreq.num_updates = 1000;
+  hreq.hot_fraction = 0.25f;
+  serve::SpmvRequest sreq;
+  sreq.id = 2;
+  sreq.rows = 200;
+  sreq.nnz_per_row_max = 6;
+  serve::MatchingRequest mreq;
+  mreq.id = 3;
+  mreq.num_vertices = 300;
+  mreq.num_edges = 900;
+  mreq.target_pairs = 40;
+
+  EXPECT_EQ(a.run(hreq).bins, b.run(hreq).bins);
+  EXPECT_EQ(a.run(sreq).y, b.run(sreq).y);
+  const serve::MatchingResult ma = a.run(mreq), mb = b.run(mreq);
+  EXPECT_EQ(ma.match, mb.match);
+  EXPECT_EQ(ma.pairs, mb.pairs);
+  EXPECT_EQ(ma.stats.cycles, mb.stats.cycles);
+}
+
+TEST(ServeZoo, SchedulingModeMovesCyclesNeverPayloadBytes) {
+  serve::SamplingServer server{serve::ServeConfig{}};
+  serve::HistogramRequest req;
+  req.id = 5;
+  req.num_updates = 2000;
+  req.hot_fraction = 0.8f;  // heavy collisions
+  req.mode = workloads::SchedulingMode::kStatic;
+  const serve::HistogramResult st = server.run(req);
+  req.mode = workloads::SchedulingMode::kDynamic;
+  const serve::HistogramResult dyn = server.run(req);
+  EXPECT_EQ(st.bins, dyn.bins);  // same payload bytes
+  EXPECT_LT(dyn.stats.cycles, st.stats.cycles);  // different schedule
+  EXPECT_GT(dyn.stats.forwarded, 0u);
+}
+
+TEST(ServeZoo, CounterBasedStrategyIsInternallyDeterministic) {
+  serve::ServeConfig cfg;
+  cfg.stream_strategy = rng::StreamStrategy::kCounterBased;
+  serve::SamplingServer a(cfg), b(cfg);
+  serve::SpmvRequest req;
+  req.id = 12;
+  req.rows = 128;
+  req.nnz_per_row_max = 10;
+  const serve::SpmvResult ra = a.run(req), rb = b.run(req);
+  EXPECT_EQ(ra.y, rb.y);
+  EXPECT_EQ(ra.nnz, rb.nnz);
+
+  // Offline reproduction over the Philox slot.
+  rng::Philox px = a.gamma_counter_stream(req.id);
+  const auto next = [&px] { return px.next(); };
+  const workloads::CsrMatrix m = workloads::make_spmv_matrix(
+      req.rows, req.rows, req.nnz_per_row_min, req.nnz_per_row_max, next);
+  const std::vector<float> x = workloads::make_dense_vector(req.rows, next);
+  workloads::SpmvConfig kcfg;
+  kcfg.mode = req.mode;
+  EXPECT_EQ(ra.y, workloads::run_spmv(kcfg, m, x).y);
+}
+
+TEST(ServeZoo, ValidationRejectsOutOfRangeRequests) {
+  serve::SamplingServer server{serve::ServeConfig{}};
+  {
+    serve::HistogramRequest req;  // num_updates == 0
+    std::future<serve::HistogramResult> f;
+    EXPECT_EQ(server.try_submit(req, &f),
+              serve::ServeStatus::kInvalidRequest);
+    req.num_updates = 100;
+    req.hot_fraction = 1.5f;  // out of [0, 1]
+    EXPECT_EQ(server.try_submit(req, &f),
+              serve::ServeStatus::kInvalidRequest);
+  }
+  {
+    serve::SpmvRequest req;
+    req.rows = 100;
+    req.nnz_per_row_min = 9;
+    req.nnz_per_row_max = 3;  // min > max
+    std::future<serve::SpmvResult> f;
+    EXPECT_EQ(server.try_submit(req, &f),
+              serve::ServeStatus::kInvalidRequest);
+    req.nnz_per_row_min = 0;
+    req.nnz_per_row_max = server.config().max_spmv_nnz_per_row + 1;
+    EXPECT_EQ(server.try_submit(req, &f),
+              serve::ServeStatus::kInvalidRequest);
+  }
+  {
+    serve::MatchingRequest req;
+    req.num_vertices = 1;  // below the 2-vertex minimum
+    req.num_edges = 4;
+    std::future<serve::MatchingResult> f;
+    EXPECT_EQ(server.try_submit(req, &f),
+              serve::ServeStatus::kInvalidRequest);
+  }
+  const serve::MetricsSnapshot m = server.metrics();
+  EXPECT_EQ(m.rejected_invalid, 5u);
+  EXPECT_EQ(m.completed, 0u);
+}
+
+TEST(ServeZoo, PerKindCountersTrackSubmissionsAndCompletions) {
+  serve::SamplingServer server{serve::ServeConfig{}};
+  serve::GammaRequest g;
+  g.id = 1;
+  g.count = 32;
+  serve::HistogramRequest h;
+  h.id = 2;
+  h.num_updates = 64;
+  serve::MatchingRequest match;
+  match.id = 3;
+  match.num_vertices = 16;
+  match.num_edges = 20;
+  (void)server.run(g);
+  (void)server.run(h);
+  (void)server.run(h);
+  (void)server.run(match);
+  const serve::MetricsSnapshot m = server.metrics();
+  const auto at = [&](serve::RequestKind k) {
+    return static_cast<std::size_t>(k);
+  };
+  EXPECT_EQ(m.submitted_by_kind[at(serve::RequestKind::kGamma)], 1u);
+  EXPECT_EQ(m.submitted_by_kind[at(serve::RequestKind::kHistogram)], 2u);
+  EXPECT_EQ(m.submitted_by_kind[at(serve::RequestKind::kSpmv)], 0u);
+  EXPECT_EQ(m.submitted_by_kind[at(serve::RequestKind::kMatching)], 1u);
+  EXPECT_EQ(m.completed_by_kind[at(serve::RequestKind::kGamma)], 1u);
+  EXPECT_EQ(m.completed_by_kind[at(serve::RequestKind::kHistogram)], 2u);
+  EXPECT_EQ(m.completed_by_kind[at(serve::RequestKind::kMatching)], 1u);
+  EXPECT_EQ(m.completed, 4u);
+}
+
+TEST(ServeCache, InterleavedKindsEvictIndependentlyAtCapacity) {
+  // Satellite check: the FIFO bound is PER KIND — a burst of one kind
+  // at capacity cannot evict another kind's entries, and hit/miss
+  // accounting stays exact under interleaving.
+  serve::ServeConfig cfg;
+  cfg.response_cache_entries = 2;
+  serve::SamplingServer server(cfg);
+
+  serve::GammaRequest g;
+  g.alpha = 1.5f;
+  g.scale = 1.0f;
+  g.count = 32;
+  serve::HistogramRequest h;
+  h.num_updates = 64;
+
+  // Interleave: gamma ids 1..3 and histogram ids 1..3 at capacity 2.
+  for (serve::RequestId id = 1; id <= 3; ++id) {
+    g.id = id;
+    h.id = id;
+    (void)server.run(g);
+    (void)server.run(h);
+  }
+  // 6 misses so far; each kind holds {2, 3} having FIFO-evicted id 1.
+  g.id = 1;
+  (void)server.run(g);  // miss; re-inserting 1 FIFO-evicts gamma id 2
+  h.id = 3;
+  (void)server.run(h);  // hit (histogram store was not disturbed)
+  g.id = 2;
+  (void)server.run(g);  // miss: evicted by the re-insert above
+  h.id = 2;
+  (void)server.run(h);  // hit: the histogram store saw no new inserts
+
+  const serve::MetricsSnapshot m = server.metrics();
+  EXPECT_EQ(m.cache_hits, 2u);
+  EXPECT_EQ(m.cache_misses, 8u);
+  EXPECT_EQ(m.completed_by_kind[static_cast<std::size_t>(
+                serve::RequestKind::kGamma)],
+            5u);
+  EXPECT_EQ(m.completed_by_kind[static_cast<std::size_t>(
+                serve::RequestKind::kHistogram)],
+            5u);
+}
+
+TEST(ServeCache, ZooHitReplaysBitsAndSkipsTheQueue) {
+  serve::ServeConfig cfg;
+  cfg.response_cache_entries = 8;
+  serve::SamplingServer server(cfg);
+  serve::MatchingRequest req;
+  req.id = 21;
+  req.num_vertices = 100;
+  req.num_edges = 250;
+  const serve::MatchingResult first = server.run(req);
+  std::future<serve::MatchingResult> f;
+  bool hit = false;
+  ASSERT_EQ(server.try_submit(req, &f, &hit), serve::ServeStatus::kAdmitted);
+  EXPECT_TRUE(hit);
+  const serve::MatchingResult again = f.get();
+  EXPECT_EQ(first.match, again.match);
+  EXPECT_EQ(first.stats.cycles, again.stats.cycles);
+  // Same id, different mode is a DIFFERENT key (stats differ).
+  req.mode = workloads::SchedulingMode::kStatic;
+  bool hit2 = true;
+  std::future<serve::MatchingResult> f2;
+  ASSERT_EQ(server.try_submit(req, &f2, &hit2),
+            serve::ServeStatus::kAdmitted);
+  EXPECT_FALSE(hit2);
+  EXPECT_EQ(f2.get().match, first.match);  // payload still identical
 }
 
 TEST(ServeCache, ResidentCreditPathServesFromCache) {

@@ -1,0 +1,355 @@
+// Tests for the divergent-kernel zoo (src/workloads): the
+// ForwardingBuffer hazard unit, and the histogram / SpMV / maximal
+// matching kernels under both scheduling modes. The load-bearing
+// invariant everywhere: SchedulingMode moves cycles, never values —
+// every kernel is bit-identical to its scalar host oracle in both
+// modes, and the cycle accounting explains where the modes differ.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "rng/mersenne_twister.h"
+#include "workloads/forwarding_buffer.h"
+#include "workloads/histogram.h"
+#include "workloads/matching.h"
+#include "workloads/scheduling.h"
+#include "workloads/spmv.h"
+
+namespace dwi::workloads {
+namespace {
+
+rng::MersenneTwister test_rng(std::uint32_t seed = 12345) {
+  return rng::MersenneTwister(rng::mt19937_params(), seed);
+}
+
+// ---------------------------------------------------------------------
+// SchedulingMode round trip
+// ---------------------------------------------------------------------
+
+TEST(SchedulingMode, ToStringRoundTrips) {
+  for (const SchedulingMode mode :
+       {SchedulingMode::kStatic, SchedulingMode::kDynamic}) {
+    const auto parsed = parse_scheduling_mode(to_string(mode));
+    ASSERT_TRUE(parsed.has_value()) << to_string(mode);
+    EXPECT_EQ(*parsed, mode);
+  }
+  EXPECT_FALSE(parse_scheduling_mode("greedy").has_value());
+  EXPECT_FALSE(parse_scheduling_mode("").has_value());
+}
+
+// ---------------------------------------------------------------------
+// ForwardingBuffer
+// ---------------------------------------------------------------------
+
+TEST(ForwardingBuffer, SnoopsOnlyTheInFlightWindow) {
+  ForwardingBuffer<> fb(3);
+  EXPECT_FALSE(fb.snoop(7));  // empty window
+  fb.push(7);
+  EXPECT_TRUE(fb.snoop(7));
+  EXPECT_FALSE(fb.snoop(8));
+  // Age the entry out: after `depth` further cycles it has retired.
+  fb.push_bubble();
+  fb.push_bubble();
+  EXPECT_TRUE(fb.snoop(7));  // still in the last slot
+  fb.push_bubble();
+  EXPECT_FALSE(fb.snoop(7));  // retired
+  EXPECT_EQ(fb.snoops(), 5u);
+  EXPECT_EQ(fb.hits(), 2u);
+}
+
+TEST(ForwardingBuffer, BubblesAgeEntriesLikeIssuedUpdates) {
+  ForwardingBuffer<> fb(2);
+  fb.push(1);
+  fb.push(2);
+  EXPECT_TRUE(fb.snoop(1));
+  EXPECT_TRUE(fb.snoop(2));
+  fb.push(3);  // evicts 1
+  EXPECT_FALSE(fb.snoop(1));
+  EXPECT_TRUE(fb.snoop(2));
+  EXPECT_TRUE(fb.snoop(3));
+}
+
+TEST(ForwardingBuffer, ResetClearsWindowAndCounters) {
+  ForwardingBuffer<> fb(2);
+  fb.push(5);
+  EXPECT_TRUE(fb.snoop(5));
+  fb.reset();
+  EXPECT_FALSE(fb.snoop(5));
+  EXPECT_EQ(fb.snoops(), 1u);
+  EXPECT_EQ(fb.hits(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------
+
+TEST(Histogram, BothModesMatchTheOracleBitExactly) {
+  auto mt = test_rng();
+  const auto next = [&mt] { return mt.next(); };
+  for (const float hot : {0.0f, 0.3f, 1.0f}) {
+    const HistogramTrace trace = make_histogram_trace(2000, 64, hot, next);
+    const std::vector<float> oracle =
+        histogram_oracle(64, trace.addrs, trace.weights);
+    for (const SchedulingMode mode :
+         {SchedulingMode::kStatic, SchedulingMode::kDynamic}) {
+      HistogramConfig cfg;
+      cfg.num_bins = 64;
+      cfg.mode = mode;
+      const HistogramOutput out =
+          run_histogram(cfg, trace.addrs, trace.weights);
+      ASSERT_EQ(out.bins.size(), oracle.size());
+      for (std::size_t b = 0; b < oracle.size(); ++b) {
+        // Bit-exact, not approximately equal: scheduling must not
+        // reassociate the float sums.
+        EXPECT_EQ(out.bins[b], oracle[b]) << "bin " << b << " hot=" << hot
+                                          << " mode=" << to_string(mode);
+      }
+      EXPECT_EQ(out.stats.initiations, trace.addrs.size());
+    }
+  }
+}
+
+TEST(Histogram, StaticPaysWorstCaseIiDynamicPaysOnlyCollisions) {
+  auto mt = test_rng(7);
+  const auto next = [&mt] { return mt.next(); };
+  // Fully hot trace: every update hits bin 0, so every dynamic issue
+  // after the first collides with the window.
+  const HistogramTrace trace = make_histogram_trace(512, 16, 1.0f, next);
+
+  HistogramConfig cfg;
+  cfg.num_bins = 16;
+  cfg.mode = SchedulingMode::kStatic;
+  const HistogramOutput st = run_histogram(cfg, trace.addrs, trace.weights);
+  cfg.mode = SchedulingMode::kDynamic;
+  const HistogramOutput dyn = run_histogram(cfg, trace.addrs, trace.weights);
+
+  // Static: the scheduler spaces every update by chain_latency (the
+  // final update's spacing is not charged — input is exhausted).
+  EXPECT_GE(st.stats.hazard_stall_cycles,
+            (trace.addrs.size() - 1) * (cfg.chain_latency - 1));
+  EXPECT_LE(st.stats.hazard_stall_cycles,
+            trace.addrs.size() * (cfg.chain_latency - 1));
+  EXPECT_EQ(st.stats.forwarded, 0u);
+  EXPECT_GT(st.stats.achieved_ii(),
+            static_cast<double>(cfg.chain_latency) - 0.1);
+
+  // Dynamic: forwarding turns each real collision into forward_stall
+  // bubbles; even the all-colliding trace beats static because
+  // forward_stall < chain_latency.
+  EXPECT_GT(dyn.stats.forwarded, 0u);
+  EXPECT_GE(dyn.stats.hazard_stall_cycles,
+            (dyn.stats.forwarded - 1) * cfg.forward_stall);
+  EXPECT_LE(dyn.stats.hazard_stall_cycles,
+            dyn.stats.forwarded * cfg.forward_stall);
+  EXPECT_LT(dyn.stats.cycles, st.stats.cycles);
+}
+
+TEST(Histogram, CollisionFreeTraceRunsAtIiOneUnderDynamic) {
+  // Addresses strided wider than the in-flight window never collide.
+  std::vector<std::uint32_t> addrs;
+  std::vector<float> weights;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    addrs.push_back(i % 64);
+    weights.push_back(1.0f);
+  }
+  HistogramConfig cfg;
+  cfg.num_bins = 64;
+  cfg.mode = SchedulingMode::kDynamic;
+  const HistogramOutput out = run_histogram(cfg, addrs, weights);
+  EXPECT_EQ(out.stats.forwarded, 0u);
+  EXPECT_EQ(out.stats.hazard_stall_cycles, 0u);
+  // II approaches 1 (the pipe fill is the only overhead).
+  EXPECT_LT(out.stats.achieved_ii(), 1.2);
+}
+
+// ---------------------------------------------------------------------
+// SpMV
+// ---------------------------------------------------------------------
+
+TEST(Spmv, BothModesMatchTheOracleBitExactly) {
+  auto mt = test_rng(21);
+  const auto next = [&mt] { return mt.next(); };
+  const CsrMatrix m = make_spmv_matrix(128, 128, 0, 12, next);
+  const std::vector<float> x = make_dense_vector(128, next);
+  const std::vector<float> oracle = spmv_oracle(m, x);
+  for (const SchedulingMode mode :
+       {SchedulingMode::kStatic, SchedulingMode::kDynamic}) {
+    SpmvConfig cfg;
+    cfg.mode = mode;
+    const SpmvOutput out = run_spmv(cfg, m, x);
+    ASSERT_EQ(out.y.size(), oracle.size());
+    for (std::size_t r = 0; r < oracle.size(); ++r) {
+      EXPECT_EQ(out.y[r], oracle[r]) << "row " << r << " mode="
+                                     << to_string(mode);
+    }
+  }
+}
+
+TEST(Spmv, EmptyRowsAndEmptyMatrixAreHandled) {
+  CsrMatrix m;
+  m.rows = 3;
+  m.cols = 3;
+  m.row_ptr = {0, 0, 2, 2};  // rows 0 and 2 empty
+  m.col_idx = {0, 2};
+  m.values = {2.0f, 4.0f};
+  const std::vector<float> x = {1.0f, 10.0f, 100.0f};
+  const std::vector<float> oracle = spmv_oracle(m, x);
+  EXPECT_EQ(oracle[0], 0.0f);
+  EXPECT_EQ(oracle[1], 402.0f);
+  EXPECT_EQ(oracle[2], 0.0f);
+  for (const SchedulingMode mode :
+       {SchedulingMode::kStatic, SchedulingMode::kDynamic}) {
+    SpmvConfig cfg;
+    cfg.mode = mode;
+    const SpmvOutput out = run_spmv(cfg, m, x);
+    EXPECT_EQ(out.y, oracle);
+  }
+}
+
+TEST(Spmv, DynamicStreamsRowsFasterThanStatic) {
+  auto mt = test_rng(33);
+  const auto next = [&mt] { return mt.next(); };
+  // Short rows are static scheduling's worst case: it drains the MAC
+  // pipeline at every row boundary.
+  const CsrMatrix m = make_spmv_matrix(256, 256, 1, 3, next);
+  const std::vector<float> x = make_dense_vector(256, next);
+  SpmvConfig cfg;
+  cfg.mode = SchedulingMode::kStatic;
+  const SpmvOutput st = run_spmv(cfg, m, x);
+  cfg.mode = SchedulingMode::kDynamic;
+  const SpmvOutput dyn = run_spmv(cfg, m, x);
+  EXPECT_LT(dyn.stats.cycles, st.stats.cycles);
+  EXPECT_GT(st.stats.pipe_empty_stall_cycles,
+            dyn.stats.pipe_empty_stall_cycles);
+}
+
+// ---------------------------------------------------------------------
+// Maximal matching
+// ---------------------------------------------------------------------
+
+void expect_valid_matching(const EdgeList& g, const MatchingOutput& out) {
+  // Symmetry: match[u] == v implies match[v] == u.
+  std::uint32_t pairs = 0;
+  for (std::uint32_t a = 0; a < g.num_vertices; ++a) {
+    const std::int32_t b = out.match[a];
+    if (b < 0) continue;
+    ASSERT_LT(static_cast<std::uint32_t>(b), g.num_vertices);
+    EXPECT_EQ(out.match[static_cast<std::uint32_t>(b)],
+              static_cast<std::int32_t>(a));
+    if (static_cast<std::uint32_t>(b) > a) ++pairs;
+  }
+  EXPECT_EQ(pairs, out.pairs);
+}
+
+TEST(Matching, BothModesMatchTheOracleBitExactly) {
+  auto mt = test_rng(55);
+  const auto next = [&mt] { return mt.next(); };
+  const EdgeList g = make_edge_list(200, 600, next);
+  const MatchingOutput oracle = matching_oracle(g);
+  expect_valid_matching(g, oracle);
+  for (const SchedulingMode mode :
+       {SchedulingMode::kStatic, SchedulingMode::kDynamic}) {
+    MatchingConfig cfg;
+    cfg.mode = mode;
+    const MatchingOutput out = run_matching(cfg, g);
+    EXPECT_EQ(out.match, oracle.match) << to_string(mode);
+    EXPECT_EQ(out.pairs, oracle.pairs);
+    expect_valid_matching(g, out);
+  }
+}
+
+TEST(Matching, QuotaExitMatchesOracleDespiteOverrunIterations) {
+  auto mt = test_rng(77);
+  const auto next = [&mt] { return mt.next(); };
+  const EdgeList g = make_edge_list(100, 400, next);
+  const MatchingOutput full = matching_oracle(g);
+  ASSERT_GT(full.pairs, 4u);
+  const std::uint32_t quota = full.pairs / 2;
+  const MatchingOutput oracle = matching_oracle(g, quota);
+  EXPECT_EQ(oracle.pairs, quota);
+  for (const unsigned break_id : {0u, 2u}) {
+    for (const SchedulingMode mode :
+         {SchedulingMode::kStatic, SchedulingMode::kDynamic}) {
+      MatchingConfig cfg;
+      cfg.mode = mode;
+      cfg.target_pairs = quota;
+      cfg.break_id = break_id;
+      const MatchingOutput out = run_matching(cfg, g);
+      // The delayed exit may EXAMINE extra edges, but the guarded
+      // write means it can never TAKE one — results are identical.
+      EXPECT_EQ(out.match, oracle.match)
+          << "break_id=" << break_id << " mode=" << to_string(mode);
+      EXPECT_EQ(out.pairs, quota);
+      EXPECT_GE(out.edges_examined, oracle.edges_examined);
+      EXPECT_LE(out.edges_examined,
+                oracle.edges_examined + break_id + 1);
+    }
+  }
+}
+
+TEST(Matching, DynamicSkipsRetireCheaply) {
+  // A star graph: after the first edge is taken, every later edge
+  // shares the hub and is skipped. Dynamic retires those skips at
+  // II=1; static still pays chain_latency for each.
+  EdgeList g;
+  g.num_vertices = 64;
+  for (std::uint32_t i = 1; i < 64; ++i) {
+    g.u.push_back(0);
+    g.v.push_back(i);
+  }
+  MatchingConfig cfg;
+  cfg.mode = SchedulingMode::kStatic;
+  const MatchingOutput st = run_matching(cfg, g);
+  cfg.mode = SchedulingMode::kDynamic;
+  const MatchingOutput dyn = run_matching(cfg, g);
+  EXPECT_EQ(st.pairs, 1u);
+  EXPECT_EQ(dyn.pairs, 1u);
+  EXPECT_GT(dyn.stats.skipped, 0u);
+  EXPECT_LT(dyn.stats.cycles, st.stats.cycles);
+}
+
+TEST(Matching, SelfLoopsAreNeverTaken) {
+  EdgeList g;
+  g.num_vertices = 4;
+  g.u = {1, 1, 2};
+  g.v = {1, 2, 3};  // edge 0 is a self-loop
+  const MatchingOutput oracle = matching_oracle(g);
+  EXPECT_EQ(oracle.match[1], 2);
+  EXPECT_EQ(oracle.match[2], 1);
+  EXPECT_EQ(oracle.match[0], -1);
+  for (const SchedulingMode mode :
+       {SchedulingMode::kStatic, SchedulingMode::kDynamic}) {
+    MatchingConfig cfg;
+    cfg.mode = mode;
+    EXPECT_EQ(run_matching(cfg, g).match, oracle.match);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Trace generators: fixed draw counts (the serve layer budgets
+// substream consumption on these)
+// ---------------------------------------------------------------------
+
+TEST(TraceGenerators, ConsumeAFixedNumberOfDraws) {
+  std::uint64_t draws = 0;
+  auto mt = test_rng(99);
+  const auto counted = [&] {
+    ++draws;
+    return mt.next();
+  };
+  make_histogram_trace(100, 32, 0.5f, counted);
+  EXPECT_EQ(draws, 200u);  // 2 per update
+
+  draws = 0;
+  const CsrMatrix m = make_spmv_matrix(50, 50, 0, 4, counted);
+  EXPECT_EQ(draws, 50u + 2u * m.nnz());  // 1 + 2·nnz per row
+
+  draws = 0;
+  make_edge_list(20, 75, counted);
+  EXPECT_EQ(draws, 150u);  // 2 per edge
+}
+
+}  // namespace
+}  // namespace dwi::workloads
